@@ -1,0 +1,67 @@
+// Command pdusim serves the LINDY iPower Control PDU simulator over HTTP —
+// the power-measurement substrate of §7.1.1 — so external harnesses can
+// poll it exactly as the paper polls the physical unit.
+//
+// Usage:
+//
+//	pdusim [-addr :8089] [-outlets "0=85,1=112"]
+//
+// Endpoints:
+//
+//	GET /power            aggregate active power (watts)
+//	GET /power?outlet=N   one outlet's active power
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"pipetune/internal/energy"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pdusim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addrFlag    = flag.String("addr", ":8089", "listen address")
+		outletsFlag = flag.String("outlets", "0=85,1=112", "initial outlet loads, e.g. 0=85,1=112")
+		seedFlag    = flag.Uint64("seed", 1, "measurement-noise seed")
+	)
+	flag.Parse()
+
+	pdu := energy.NewPDU(*seedFlag)
+	for _, part := range strings.Split(*outletsFlag, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kv := strings.SplitN(part, "=", 2)
+		if len(kv) != 2 {
+			return fmt.Errorf("bad outlet spec %q (want outlet=watts)", part)
+		}
+		outlet, err := strconv.Atoi(kv[0])
+		if err != nil {
+			return fmt.Errorf("bad outlet %q: %w", kv[0], err)
+		}
+		watts, err := strconv.ParseFloat(kv[1], 64)
+		if err != nil {
+			return fmt.Errorf("bad watts %q: %w", kv[1], err)
+		}
+		if err := pdu.SetPower(outlet, watts); err != nil {
+			return err
+		}
+	}
+
+	fmt.Printf("pdusim: LINDY iPower Control 2x6M simulator listening on %s\n", *addrFlag)
+	fmt.Printf("pdusim: try  curl 'http://localhost%s/power?outlet=0'\n", *addrFlag)
+	return http.ListenAndServe(*addrFlag, pdu)
+}

@@ -1,0 +1,144 @@
+// Command pipetune runs one hyperparameter-tuning job under a chosen
+// system (pipetune, v1 or v2) and prints the outcome.
+//
+// Usage:
+//
+//	pipetune [flags]
+//
+//	-workload   model/dataset pair, e.g. lenet/mnist (default lenet/mnist)
+//	-system     pipetune | v1 | v2 (default pipetune)
+//	-seed       master seed (default 42)
+//	-epochs     per-trial epoch budget (default 6)
+//	-corpus     synthetic corpus size (default 512)
+//	-bootstrap  warm-start the ground truth before the job (default true)
+//	-gt         path to load/save the ground-truth database (optional)
+//	-trials     print the per-trial table (default false)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pipetune"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pipetune:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		workloadFlag = flag.String("workload", "lenet/mnist", "model/dataset pair (see Table 3)")
+		systemFlag   = flag.String("system", "pipetune", "pipetune | v1 | v2")
+		seedFlag     = flag.Uint64("seed", 42, "master seed")
+		epochsFlag   = flag.Int("epochs", 6, "per-trial epoch budget")
+		corpusFlag   = flag.Int("corpus", 512, "synthetic training corpus size")
+		bootFlag     = flag.Bool("bootstrap", true, "warm-start the ground truth")
+		gtFlag       = flag.String("gt", "", "ground-truth database file to load and save")
+		trialsFlag   = flag.Bool("trials", false, "print per-trial details")
+	)
+	flag.Parse()
+
+	w, err := parseWorkload(*workloadFlag)
+	if err != nil {
+		return err
+	}
+
+	sys, err := pipetune.New(
+		pipetune.WithSeed(*seedFlag),
+		pipetune.WithCorpusSize(*corpusFlag, *corpusFlag/3+1),
+	)
+	if err != nil {
+		return err
+	}
+
+	if *gtFlag != "" {
+		if f, err := os.Open(*gtFlag); err == nil {
+			loadErr := sys.LoadGroundTruth(f)
+			f.Close()
+			if loadErr != nil {
+				return loadErr
+			}
+			fmt.Printf("loaded ground truth from %s\n", *gtFlag)
+		}
+	}
+
+	spec := sys.JobSpec(w)
+	spec.BaseHyper.Epochs = *epochsFlag
+
+	var res *pipetune.JobResult
+	switch strings.ToLower(*systemFlag) {
+	case "pipetune":
+		if *bootFlag {
+			if err := sys.Bootstrap(pipetune.WorkloadsOfType(w.Type())); err != nil {
+				return err
+			}
+		}
+		res, err = sys.RunPipeTune(spec)
+	case "v1":
+		res, err = sys.RunBaseline(spec)
+	case "v2":
+		spec.Mode = pipetune.ModeV2
+		spec.Objective = pipetune.MaximizeAccuracyPerTime
+		res, err = sys.RunBaseline(spec)
+	default:
+		return fmt.Errorf("unknown system %q (want pipetune, v1 or v2)", *systemFlag)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("workload:        %s (%s)\n", w.Name(), w.Type())
+	fmt.Printf("system:          %s\n", *systemFlag)
+	fmt.Printf("trials:          %d\n", len(res.Trials))
+	fmt.Printf("best accuracy:   %.2f%%\n", res.Best.Result.Accuracy*100)
+	fmt.Printf("best hyper:      %s\n", res.Best.Hyper)
+	fmt.Printf("final system:    %s\n", res.Best.Result.FinalSys)
+	fmt.Printf("training time:   %.1f s (simulated)\n", res.Best.Result.Duration)
+	fmt.Printf("tuning time:     %.1f s (simulated)\n", res.TuningTime)
+	fmt.Printf("tuning energy:   %.1f kJ\n", res.TotalEnergy/1000)
+	if strings.EqualFold(*systemFlag, "pipetune") {
+		entries, hits, misses := sys.GroundTruthStats()
+		fmt.Printf("ground truth:    %d entries, %d hits, %d misses\n", entries, hits, misses)
+	}
+
+	if *trialsFlag {
+		fmt.Printf("\n%-5s %-9s %-38s %-10s %-10s\n", "id", "budget", "hyper", "acc [%]", "dur [s]")
+		for _, rec := range res.Trials {
+			fmt.Printf("%-5d %-9.2f %-38s %-10.2f %-10.1f\n",
+				rec.ID, rec.BudgetFrac, rec.Hyper.String(),
+				rec.Result.Accuracy*100, rec.Result.Duration)
+		}
+	}
+
+	if *gtFlag != "" {
+		f, err := os.Create(*gtFlag)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := sys.SaveGroundTruth(f); err != nil {
+			return err
+		}
+		fmt.Printf("saved ground truth to %s\n", *gtFlag)
+	}
+	return nil
+}
+
+func parseWorkload(s string) (pipetune.Workload, error) {
+	for _, w := range pipetune.Catalog() {
+		if w.Name() == strings.ToLower(s) {
+			return w, nil
+		}
+	}
+	names := make([]string, 0, 7)
+	for _, w := range pipetune.Catalog() {
+		names = append(names, w.Name())
+	}
+	return pipetune.Workload{}, fmt.Errorf("unknown workload %q (want one of %s)", s, strings.Join(names, ", "))
+}

@@ -1,0 +1,72 @@
+// Quickstart: tune LeNet-5 on MNIST with PipeTune and compare against the
+// plain hyperparameter-tuning baseline (the paper's Tune V1).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pipetune"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sys, err := pipetune.New(
+		pipetune.WithSeed(42),
+		pipetune.WithCorpusSize(512, 192),
+	)
+	if err != nil {
+		return err
+	}
+
+	w := pipetune.Workload{Model: pipetune.LeNet5, Dataset: pipetune.MNIST}
+
+	// Warm-start the ground-truth database by profiling the Type-I
+	// workload family (the paper's §7.2 campaign, scaled down).
+	fmt.Println("bootstrapping ground-truth database...")
+	if err := sys.Bootstrap(pipetune.WorkloadsOfType(pipetune.TypeI)); err != nil {
+		return err
+	}
+
+	spec := sys.JobSpec(w)
+
+	fmt.Println("running baseline (Tune V1)...")
+	base, err := sys.RunBaseline(spec)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("running PipeTune...")
+	pt, err := sys.RunPipeTune(spec)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\n%-10s  %-12s  %-12s  %-12s  %-10s\n",
+		"system", "accuracy", "training [s]", "tuning [s]", "energy [kJ]")
+	report := func(name string, res *pipetune.JobResult) {
+		fmt.Printf("%-10s  %-12.2f  %-12.1f  %-12.1f  %-10.1f\n",
+			name,
+			res.Best.Result.Accuracy*100,
+			res.Best.Result.Duration,
+			res.TuningTime,
+			res.TotalEnergy/1000)
+	}
+	report("Tune V1", base)
+	report("PipeTune", pt)
+
+	entries, hits, misses := sys.GroundTruthStats()
+	fmt.Printf("\nground truth: %d entries, %d hits, %d misses\n", entries, hits, misses)
+	fmt.Printf("tuning-time reduction: %.1f%%\n",
+		(1-pt.TuningTime/base.TuningTime)*100)
+	fmt.Printf("best hyperparameters: %s (system %s)\n",
+		pt.Best.Hyper, pt.Best.Result.FinalSys)
+	return nil
+}

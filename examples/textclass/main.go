@@ -1,0 +1,77 @@
+// Text classification (Type-II jobs): two different models (a CNN and an
+// LSTM) tuned on the same News20-style corpus — the paper's model-search
+// pattern. Compares all three systems: Tune V1 (accuracy only), Tune V2
+// (system parameters folded into the search) and PipeTune.
+//
+//	go run ./examples/textclass
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pipetune"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	sys, err := pipetune.New(
+		pipetune.WithSeed(11),
+		pipetune.WithCorpusSize(384, 128),
+	)
+	if err != nil {
+		return err
+	}
+	if err := sys.Bootstrap(pipetune.WorkloadsOfType(pipetune.TypeII)); err != nil {
+		return err
+	}
+
+	workloads := []pipetune.Workload{
+		{Model: pipetune.CNN, Dataset: pipetune.News20},
+		{Model: pipetune.LSTM, Dataset: pipetune.News20},
+	}
+
+	fmt.Printf("%-14s  %-9s  %-12s  %-12s  %-12s\n",
+		"workload", "system", "accuracy", "training [s]", "tuning [s]")
+	for _, w := range workloads {
+		spec := sys.JobSpec(w)
+
+		v1, err := sys.RunBaseline(spec)
+		if err != nil {
+			return err
+		}
+		row(w, "V1", v1)
+
+		v2Spec := spec
+		v2Spec.Mode = pipetune.ModeV2
+		v2Spec.Objective = pipetune.MaximizeAccuracyPerTime
+		v2, err := sys.RunBaseline(v2Spec)
+		if err != nil {
+			return err
+		}
+		row(w, "V2", v2)
+
+		pt, err := sys.RunPipeTune(spec)
+		if err != nil {
+			return err
+		}
+		row(w, "PipeTune", pt)
+	}
+	fmt.Println("\nExpected shape (paper §7.3): PipeTune matches V1's accuracy at a")
+	fmt.Println("lower tuning time; V2 trades accuracy for shorter training and pays")
+	fmt.Println("for its larger search space with the longest tuning phase.")
+	return nil
+}
+
+func row(w pipetune.Workload, system string, res *pipetune.JobResult) {
+	fmt.Printf("%-14s  %-9s  %-12.2f  %-12.1f  %-12.1f\n",
+		w.Name(), system,
+		res.Best.Result.Accuracy*100,
+		res.Best.Result.Duration,
+		res.TuningTime)
+}

@@ -1,0 +1,265 @@
+// Package cluster models the deep-learning cluster of §5.1 and §7.1.1: N
+// nodes with C cores and M GB of memory each, on which HPT jobs are
+// scheduled FIFO. It provides the resource allocator used to place training
+// trials, and a discrete-event FIFO queueing simulator for the
+// multi-tenancy experiments (§7.4), where jobs arrive with exponential
+// inter-arrival times and the measured quantity is average response time.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"pipetune/internal/params"
+	"pipetune/internal/simtime"
+	"pipetune/internal/xrand"
+)
+
+// ErrInsufficient is returned when no node can satisfy an allocation.
+var ErrInsufficient = errors.New("cluster: insufficient resources")
+
+// NodeSpec describes one node's capacity.
+type NodeSpec struct {
+	Cores    int `json:"cores"`
+	MemoryGB int `json:"memoryGB"`
+}
+
+// node tracks live usage against its spec.
+type node struct {
+	spec      NodeSpec
+	usedCores int
+	usedMemGB int
+}
+
+// Cluster is a fixed set of nodes with first-fit allocation.
+type Cluster struct {
+	nodes []node
+}
+
+// New builds a homogeneous cluster.
+func New(numNodes int, spec NodeSpec) (*Cluster, error) {
+	if numNodes < 1 {
+		return nil, fmt.Errorf("cluster: %d nodes invalid", numNodes)
+	}
+	if spec.Cores < 1 || spec.MemoryGB < 1 {
+		return nil, fmt.Errorf("cluster: invalid node spec %+v", spec)
+	}
+	c := &Cluster{nodes: make([]node, numNodes)}
+	for i := range c.nodes {
+		c.nodes[i].spec = spec
+	}
+	return c, nil
+}
+
+// Paper returns the §7.1.1 distributed testbed: 4 nodes of quad-socket
+// E3-1275 machines (8 cores per CPU ⇒ 32 cores) with 64 GiB of RAM.
+func Paper() *Cluster {
+	c, err := New(4, NodeSpec{Cores: 32, MemoryGB: 64})
+	if err != nil {
+		// Static configuration; failure is a programming error.
+		panic(err)
+	}
+	return c
+}
+
+// SingleNode returns the §7.1.1 Type-III testbed: one E5-2620 node with
+// 8 cores and 24 GB of RAM.
+func SingleNode() *Cluster {
+	c, err := New(1, NodeSpec{Cores: 8, MemoryGB: 24})
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// NumNodes returns the node count.
+func (c *Cluster) NumNodes() int { return len(c.nodes) }
+
+// Clone returns an empty (fully free) cluster with the same node shapes —
+// used by schedulers that need a scratch occupancy model.
+func (c *Cluster) Clone() *Cluster {
+	out := &Cluster{nodes: make([]node, len(c.nodes))}
+	for i := range c.nodes {
+		out.nodes[i].spec = c.nodes[i].spec
+	}
+	return out
+}
+
+// TotalCores returns the cluster-wide core capacity.
+func (c *Cluster) TotalCores() int {
+	total := 0
+	for _, n := range c.nodes {
+		total += n.spec.Cores
+	}
+	return total
+}
+
+// FreeCores returns currently unallocated cores across the cluster.
+func (c *Cluster) FreeCores() int {
+	total := 0
+	for _, n := range c.nodes {
+		total += n.spec.Cores - n.usedCores
+	}
+	return total
+}
+
+// Alloc is a granted reservation. Release it exactly once.
+type Alloc struct {
+	c        *Cluster
+	node     int
+	sys      params.SysConfig
+	released bool
+}
+
+// Node returns the index of the node hosting the allocation.
+func (a *Alloc) Node() int { return a.node }
+
+// Sys returns the reserved resources.
+func (a *Alloc) Sys() params.SysConfig { return a.sys }
+
+// Release returns the resources to the cluster. Releasing twice is an
+// error (a lifecycle bug in the caller).
+func (a *Alloc) Release() error {
+	if a.released {
+		return errors.New("cluster: double release")
+	}
+	a.released = true
+	n := &a.c.nodes[a.node]
+	n.usedCores -= a.sys.Cores
+	n.usedMemGB -= a.sys.MemoryGB
+	return nil
+}
+
+// Allocate reserves sys on the first node with enough free capacity.
+// Trials never span nodes (BigDL pins each trial's executors together).
+func (c *Cluster) Allocate(sys params.SysConfig) (*Alloc, error) {
+	if err := sys.Validate(); err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	for i := range c.nodes {
+		n := &c.nodes[i]
+		if n.spec.Cores-n.usedCores >= sys.Cores && n.spec.MemoryGB-n.usedMemGB >= sys.MemoryGB {
+			n.usedCores += sys.Cores
+			n.usedMemGB += sys.MemoryGB
+			return &Alloc{c: c, node: i, sys: sys}, nil
+		}
+	}
+	return nil, ErrInsufficient
+}
+
+// Fits reports whether sys could ever be allocated on an empty cluster.
+func (c *Cluster) Fits(sys params.SysConfig) bool {
+	for _, n := range c.nodes {
+		if n.spec.Cores >= sys.Cores && n.spec.MemoryGB >= sys.MemoryGB {
+			return true
+		}
+	}
+	return false
+}
+
+// Job is one unit of work for the FIFO queueing simulation: it arrives at
+// Arrival (seconds) and occupies one job slot for Duration once started.
+type Job struct {
+	ID       int     `json:"id"`
+	Arrival  float64 `json:"arrival"`
+	Duration float64 `json:"duration"`
+}
+
+// JobStats reports one job's queueing outcome.
+type JobStats struct {
+	ID       int     `json:"id"`
+	Arrival  float64 `json:"arrival"`
+	Start    float64 `json:"start"`
+	End      float64 `json:"end"`
+	Wait     float64 `json:"wait"`     // Start - Arrival
+	Response float64 `json:"response"` // End - Arrival
+}
+
+// SimulateFIFO runs the jobs through a FIFO queue with `slots` parallel
+// servers (one HPT job per cluster in the paper's single-tenancy, multiple
+// slots when the cluster is shared) and returns per-job statistics in job
+// order. The paper schedules HPT jobs FIFO (§5.1).
+func SimulateFIFO(jobs []Job, slots int) ([]JobStats, error) {
+	if slots < 1 {
+		return nil, fmt.Errorf("cluster: %d slots invalid", slots)
+	}
+	for _, j := range jobs {
+		if j.Duration < 0 || j.Arrival < 0 {
+			return nil, fmt.Errorf("cluster: job %d has negative time", j.ID)
+		}
+	}
+	ordered := make([]Job, len(jobs))
+	copy(ordered, jobs)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Arrival < ordered[j].Arrival })
+
+	eng := simtime.NewEngine()
+	stats := make(map[int]JobStats, len(jobs))
+	free := slots
+	queue := make([]Job, 0, len(jobs))
+
+	var tryStart func()
+	tryStart = func() {
+		for free > 0 && len(queue) > 0 {
+			job := queue[0]
+			queue = queue[1:]
+			free--
+			start := eng.Now()
+			eng.Schedule(job.Duration, func() {
+				end := eng.Now()
+				stats[job.ID] = JobStats{
+					ID:       job.ID,
+					Arrival:  job.Arrival,
+					Start:    start,
+					End:      end,
+					Wait:     start - job.Arrival,
+					Response: end - job.Arrival,
+				}
+				free++
+				tryStart()
+			})
+		}
+	}
+
+	for _, job := range ordered {
+		job := job
+		eng.ScheduleAt(job.Arrival, func() {
+			queue = append(queue, job)
+			tryStart()
+		})
+	}
+	if err := eng.RunAll(); err != nil {
+		return nil, err
+	}
+
+	out := make([]JobStats, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, stats[j.ID])
+	}
+	return out, nil
+}
+
+// MeanResponse averages the response times.
+func MeanResponse(stats []JobStats) float64 {
+	if len(stats) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range stats {
+		sum += s.Response
+	}
+	return sum / float64(len(stats))
+}
+
+// PoissonArrivals generates n arrival times with exponentially distributed
+// inter-arrival gaps of the given mean (§7.4: "jobs arrive randomly with
+// the interarrival times being exponentially distributed").
+func PoissonArrivals(r *xrand.Source, n int, meanGap float64) []float64 {
+	out := make([]float64, n)
+	t := 0.0
+	for i := range out {
+		t += r.ExpFloat64() * meanGap
+		out[i] = t
+	}
+	return out
+}

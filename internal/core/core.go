@@ -1,0 +1,619 @@
+// Package core implements PipeTune itself — the paper's primary
+// contribution (§5): pipelined tuning of system parameters inside each
+// hyperparameter trial, at epoch granularity.
+//
+// Algorithm 1 of the paper maps onto this package as follows:
+//
+//	train(...)            -> tune.Runner executes the trial; the trainer
+//	                         invokes the Controller at each epoch boundary
+//	                         (the asynchronous tuneSystem call).
+//	getProfile(job)       -> the trial's first-epoch 58-event PMU profile.
+//	getSimilarity(profile)-> GroundTruth.Lookup: k-means over historical
+//	                         profiles; a hit within the inertia-derived
+//	                         radius returns that cluster's known-best
+//	                         system configuration (§5.4, §5.6).
+//	probing loop          -> on a miss, each subsequent epoch runs one
+//	                         candidate configuration; the optimisation
+//	                         function picks the best (O(n) in the number
+//	                         of configurations, §5.2) and applies it for
+//	                         the remaining epochs.
+//
+// Completed trials feed their profile and winning configuration back into
+// the ground-truth database, which re-clusters — so later jobs with
+// similar profiles skip probing entirely (§7.4's "unseen jobs" economy).
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"pipetune/internal/kmeans"
+	"pipetune/internal/params"
+	"pipetune/internal/trainer"
+	"pipetune/internal/tune"
+	"pipetune/internal/workload"
+)
+
+// OptimizeFor selects the probing optimisation function (§5.2: "e.g.,
+// shortest runtime, lowest energy consumption").
+type OptimizeFor int
+
+// Optimisation functions.
+const (
+	MinimizeDuration OptimizeFor = iota + 1
+	MinimizeEnergy
+)
+
+// String implements fmt.Stringer.
+func (o OptimizeFor) String() string {
+	switch o {
+	case MinimizeDuration:
+		return "min-duration"
+	case MinimizeEnergy:
+		return "min-energy"
+	default:
+		return fmt.Sprintf("optimize(%d)", int(o))
+	}
+}
+
+// Entry is one historical ground-truth record: the profile of a trial and
+// the best system configuration discovered for it.
+type Entry struct {
+	Features []float64        `json:"features"` // log-scaled 58-event profile
+	BestSys  params.SysConfig `json:"bestSys"`
+	// Metric is the winner's *relative advantage*: the best configuration's
+	// per-epoch value divided by the mean over all configurations measured
+	// alongside it (dimensionless, lower = more dominant). Being relative
+	// makes entries comparable across trials with different
+	// hyperparameters, which raw durations are not.
+	Metric float64 `json:"metric"`
+}
+
+// GroundTruthConfig tunes the similarity machinery.
+type GroundTruthConfig struct {
+	// KMeans is the clustering configuration; the paper fixes k=2 (one
+	// cluster per workload family, §5.4).
+	KMeans kmeans.Config
+	// Threshold scales the cluster's RMS radius when deciding whether a
+	// new profile is "similar enough" to reuse (§5.6).
+	Threshold float64
+	// MinEntries is the history size below which every lookup misses
+	// (no reliable model yet).
+	MinEntries int
+	// Similarity overrides the technique (§5.4's pluggability); nil uses
+	// k-means with the KMeans/Threshold settings above.
+	Similarity Similarity
+}
+
+// DefaultGroundTruthConfig mirrors the paper's settings.
+func DefaultGroundTruthConfig() GroundTruthConfig {
+	return GroundTruthConfig{
+		KMeans:     kmeans.DefaultConfig(),
+		Threshold:  2.0,
+		MinEntries: 4,
+	}
+}
+
+// GroundTruth is the persistent similarity database (§5.4). It is safe for
+// concurrent use.
+type GroundTruth struct {
+	mu        sync.Mutex
+	cfg       GroundTruthConfig
+	sim       Similarity
+	fitted    bool
+	entries   []Entry
+	groupBest []params.SysConfig
+	hits      int
+	misses    int
+}
+
+// NewGroundTruth creates an empty database.
+func NewGroundTruth(cfg GroundTruthConfig, seed uint64) *GroundTruth {
+	sim := cfg.Similarity
+	if sim == nil {
+		sim = NewKMeansSimilarity(cfg.KMeans, cfg.Threshold, seed)
+	}
+	return &GroundTruth{cfg: cfg, sim: sim}
+}
+
+// SimilarityName reports the active technique.
+func (g *GroundTruth) SimilarityName() string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.sim.Name()
+}
+
+// Len returns the number of stored entries.
+func (g *GroundTruth) Len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.entries)
+}
+
+// Stats returns lookup hit/miss counters.
+func (g *GroundTruth) Stats() (hits, misses int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.hits, g.misses
+}
+
+// Add stores an entry and re-clusters (§5.6: probing data "is saved to be
+// taken into account once re-clustering is applied").
+func (g *GroundTruth) Add(e Entry) error {
+	if len(e.Features) == 0 {
+		return errors.New("core: entry without features")
+	}
+	if err := e.BestSys.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	cp := Entry{Features: append([]float64(nil), e.Features...), BestSys: e.BestSys, Metric: e.Metric}
+	g.entries = append(g.entries, cp)
+	g.recluster()
+	return nil
+}
+
+// recluster refits the similarity model and recomputes per-group best
+// configurations. Callers must hold g.mu.
+func (g *GroundTruth) recluster() {
+	if len(g.entries) < g.cfg.MinEntries {
+		g.fitted = false
+		g.groupBest = nil
+		return
+	}
+	points := make([][]float64, len(g.entries))
+	for i, e := range g.entries {
+		points[i] = e.Features
+	}
+	if err := g.sim.Fit(points); err != nil {
+		g.fitted = false
+		g.groupBest = nil
+		return
+	}
+	g.fitted = true
+
+	// Per group, the configuration that won most often among members
+	// (ties broken towards the lower mean relative-advantage metric, then
+	// lexicographically for determinism).
+	g.groupBest = make([]params.SysConfig, g.sim.Groups())
+	for c := range g.groupBest {
+		type agg struct {
+			sys    params.SysConfig
+			count  int
+			metric float64
+		}
+		byKey := make(map[string]*agg)
+		for i, e := range g.entries {
+			if g.sim.GroupOf(i) != c {
+				continue
+			}
+			key := e.BestSys.String()
+			a, ok := byKey[key]
+			if !ok {
+				a = &agg{sys: e.BestSys}
+				byKey[key] = a
+			}
+			a.count++
+			a.metric += e.Metric
+		}
+		keys := make([]string, 0, len(byKey))
+		for k := range byKey {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		bestKey := ""
+		for _, k := range keys {
+			if bestKey == "" {
+				bestKey = k
+				continue
+			}
+			a, b := byKey[k], byKey[bestKey]
+			// Prefer higher vote count, then lower mean metric.
+			if a.count > b.count ||
+				(a.count == b.count && a.metric/float64(a.count) < b.metric/float64(b.count)) {
+				bestKey = k
+			}
+		}
+		if bestKey != "" {
+			g.groupBest[c] = byKey[bestKey].sys
+		} else {
+			g.groupBest[c] = params.DefaultSysConfig()
+		}
+	}
+}
+
+// Lookup returns the known-best configuration for a profile if the
+// similarity function matches it confidently (§5.6: "the distance is
+// compared against the model's inertia, to measure the reliability of the
+// prediction").
+func (g *GroundTruth) Lookup(features []float64) (params.SysConfig, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.fitted {
+		g.misses++
+		return params.SysConfig{}, false
+	}
+	group, ok := g.sim.Match(features)
+	if !ok || group < 0 || group >= len(g.groupBest) {
+		g.misses++
+		return params.SysConfig{}, false
+	}
+	g.hits++
+	return g.groupBest[group], true
+}
+
+// gtSnapshot is the JSON persistence format of the database.
+type gtSnapshot struct {
+	Entries []Entry `json:"entries"`
+}
+
+// Save persists the entries as JSON (the model is refit on Load).
+func (g *GroundTruth) Save(w io.Writer) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return json.NewEncoder(w).Encode(gtSnapshot{Entries: g.entries})
+}
+
+// Load replaces the database contents and refits the model — the "warm
+// start" path of §5.4 (the user "can point to a pre-trained similarity
+// function").
+func (g *GroundTruth) Load(r io.Reader) error {
+	var snap gtSnapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("core: load ground truth: %w", err)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.entries = snap.Entries
+	g.recluster()
+	return nil
+}
+
+// DefaultProbeConfigs returns the §5.6 probing grid over the §7.1.4 system
+// ranges: cores × memory at power-of-two steps. Kept small because each
+// probe consumes one epoch.
+func DefaultProbeConfigs() []params.SysConfig {
+	return []params.SysConfig{
+		{Cores: 4, MemoryGB: 8},
+		{Cores: 8, MemoryGB: 8},
+		{Cores: 16, MemoryGB: 8},
+		{Cores: 4, MemoryGB: 32},
+		{Cores: 8, MemoryGB: 32},
+		{Cores: 16, MemoryGB: 32},
+	}
+}
+
+// trialPhase is the per-trial state machine of Algorithm 1.
+type trialPhase int
+
+const (
+	phaseProfiling trialPhase = iota + 1
+	phaseProbing
+	phaseApplied
+)
+
+// probeResult is one epoch-level measurement of a configuration.
+type probeResult struct {
+	sys      params.SysConfig
+	duration float64
+	energyJ  float64
+}
+
+// trialState tracks one trial's pipelined tuning.
+type trialState struct {
+	phase     trialPhase
+	features  []float64
+	probeIdx  int
+	measured  []probeResult
+	applied   params.SysConfig
+	fromGT    bool
+	validated bool
+	baseline  float64 // metric of the profiling epoch (on the start config)
+	epochsRun int
+}
+
+// Controller coordinates pipelined system-parameter tuning for the trials
+// of one or more HPT jobs. It implements the paper's tuneSystem (Algorithm
+// 1, lines 6-17) as a trainer.EpochObserver per trial.
+type Controller struct {
+	GT       *GroundTruth
+	Probes   []params.SysConfig
+	Optimize OptimizeFor
+
+	// MaxProbeEpochs bounds how many epochs a single trial may spend
+	// probing (0 = no bound beyond the probe list length).
+	MaxProbeEpochs int
+
+	mu     sync.Mutex
+	trials map[int]*trialState
+}
+
+// NewController creates a controller with the default probe grid.
+func NewController(gt *GroundTruth) *Controller {
+	return &Controller{
+		GT:       gt,
+		Probes:   DefaultProbeConfigs(),
+		Optimize: MinimizeDuration,
+		trials:   make(map[int]*trialState),
+	}
+}
+
+// metric extracts the optimisation value from a measurement.
+func (c *Controller) metric(p probeResult) float64 {
+	if c.Optimize == MinimizeEnergy {
+		return p.energyJ
+	}
+	return p.duration
+}
+
+// state returns (creating if needed) the per-trial state.
+func (c *Controller) state(trialID int) *trialState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.trials[trialID]
+	if !ok {
+		st = &trialState{phase: phaseProfiling}
+		c.trials[trialID] = st
+	}
+	return st
+}
+
+// ObserverFor returns the epoch observer for one trial; pass this to
+// tune.JobSpec.TrialObserver.
+func (c *Controller) ObserverFor(trialID int) trainer.EpochObserver {
+	return trainer.ObserverFunc(func(_ uint64, _ workload.Workload, _ params.Hyper, s trainer.EpochStats) *params.SysConfig {
+		return c.onEpoch(trialID, s)
+	})
+}
+
+// onEpoch advances the state machine. The returned configuration (if any)
+// applies from the next epoch onward.
+func (c *Controller) onEpoch(trialID int, s trainer.EpochStats) *params.SysConfig {
+	st := c.state(trialID)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	st.epochsRun++
+	st.measured = append(st.measured, probeResult{sys: s.Sys, duration: s.Duration, energyJ: s.EnergyJ})
+
+	switch st.phase {
+	case phaseProfiling:
+		// Line 7-8: profile the first epoch, query the similarity
+		// function.
+		st.features = s.Profile.Features()
+		st.baseline = c.metric(st.measured[0])
+		if cfg, ok := c.GT.Lookup(st.features); ok {
+			// Line 9-10: within the confidence threshold — apply the
+			// known-best configuration, no probing needed.
+			st.phase = phaseApplied
+			st.applied = cfg
+			st.fromGT = true
+			return &cfg
+		}
+		// Line 11-15: start probing.
+		st.phase = phaseProbing
+		st.probeIdx = 0
+		if next := c.nextProbeLocked(st, s.Sys); next != nil {
+			return next
+		}
+		// Nothing to probe: settle immediately.
+		return c.settleLocked(st)
+	case phaseProbing:
+		if c.MaxProbeEpochs > 0 && st.epochsRun-1 >= c.MaxProbeEpochs {
+			return c.settleLocked(st)
+		}
+		if next := c.nextProbeLocked(st, s.Sys); next != nil {
+			return next
+		}
+		// Line 16-17: all probes measured — pick the best and apply it.
+		return c.settleLocked(st)
+	default:
+		// Reliability guard on ground-truth reuse: the first epoch after
+		// applying a cluster's configuration validates it against the
+		// trial's own baseline. Cluster-level configurations are hyper-
+		// parameter-agnostic, so a config that was best for the cluster's
+		// typical trials can regress an atypical one (e.g. a much larger
+		// batch size); in that case fall back to probing — the §5.6 rule
+		// of distrusting low-reliability predictions, applied online.
+		if st.fromGT && !st.validated {
+			st.validated = true
+			if c.metric(st.measured[len(st.measured)-1]) > st.baseline*1.10 {
+				st.phase = phaseProbing
+				st.fromGT = false
+				if next := c.nextProbeLocked(st, s.Sys); next != nil {
+					return next
+				}
+				return c.settleLocked(st)
+			}
+		}
+		return nil
+	}
+}
+
+// nextProbeLocked returns the next unmeasured probe configuration, skipping
+// any equal to configurations already measured. Callers hold c.mu.
+func (c *Controller) nextProbeLocked(st *trialState, current params.SysConfig) *params.SysConfig {
+	for st.probeIdx < len(c.Probes) {
+		cfg := c.Probes[st.probeIdx]
+		st.probeIdx++
+		seen := false
+		for _, m := range st.measured {
+			if m.sys == cfg {
+				seen = true
+				break
+			}
+		}
+		if cfg == current || seen {
+			continue
+		}
+		return &cfg
+	}
+	return nil
+}
+
+// settleLocked picks the best measured configuration ("find best config in
+// m", Algorithm 1 line 16) and applies it. Callers hold c.mu.
+func (c *Controller) settleLocked(st *trialState) *params.SysConfig {
+	st.phase = phaseApplied
+	best := st.measured[0]
+	for _, m := range st.measured[1:] {
+		if c.metric(m) < c.metric(best) {
+			best = m
+		}
+	}
+	st.applied = best.sys
+	return &best.sys
+}
+
+// Finish must be called when a trial completes (wire it to
+// tune.JobSpec.OnTrialDone). It feeds the trial's outcome into the
+// ground-truth database and releases the per-trial state.
+func (c *Controller) Finish(trialID int, _ *trainer.Result) {
+	c.mu.Lock()
+	st, ok := c.trials[trialID]
+	if ok {
+		delete(c.trials, trialID)
+	}
+	var entry *Entry
+	if ok && st.features != nil && comparedConfigs(st.measured) >= 2 {
+		// Only trials with comparative evidence (at least two distinct
+		// configurations measured) contribute: a trial that only ever ran
+		// the start configuration knows nothing about what is *best* and
+		// would drown the database in "default is best" votes.
+		best := st.measured[0]
+		mean := 0.0
+		for _, m := range st.measured {
+			mean += c.metric(m)
+			if c.metric(m) < c.metric(best) {
+				best = m
+			}
+		}
+		mean /= float64(len(st.measured))
+		advantage := 1.0
+		if mean > 0 {
+			advantage = c.metric(best) / mean
+		}
+		entry = &Entry{Features: st.features, BestSys: best.sys, Metric: advantage}
+	}
+	c.mu.Unlock()
+	if entry != nil {
+		// Ground-truth updates only grow the database; errors here must
+		// not fail the trial (degraded ground truth, not a broken job).
+		_ = c.GT.Add(*entry)
+	}
+}
+
+// comparedConfigs counts the distinct system configurations measured.
+func comparedConfigs(measured []probeResult) int {
+	seen := make(map[params.SysConfig]bool, len(measured))
+	for _, m := range measured {
+		seen[m.sys] = true
+	}
+	return len(seen)
+}
+
+// PipeTune wraps a tune.Runner with the pipelined system-tuning middleware.
+// One PipeTune instance holds one persistent ground-truth database shared
+// by every job it runs — the cross-job learning of §7.4.
+type PipeTune struct {
+	Runner   *tune.Runner
+	GT       *GroundTruth
+	Probes   []params.SysConfig
+	Optimize OptimizeFor
+}
+
+// New creates a PipeTune middleware with an empty ground-truth database.
+func New(runner *tune.Runner, seed uint64) *PipeTune {
+	return &PipeTune{
+		Runner:   runner,
+		GT:       NewGroundTruth(DefaultGroundTruthConfig(), seed),
+		Probes:   DefaultProbeConfigs(),
+		Optimize: MinimizeDuration,
+	}
+}
+
+// RunJob executes an HPT job under PipeTune: the hyperparameter search is
+// untouched (V1 semantics, accuracy objective preserved), while each
+// trial's system parameters are tuned in the pipelined fashion of
+// Algorithm 1.
+func (p *PipeTune) RunJob(spec tune.JobSpec) (*tune.JobResult, error) {
+	if p.Runner == nil || p.GT == nil {
+		return nil, errors.New("core: PipeTune not wired")
+	}
+	ctrl := NewController(p.GT)
+	ctrl.Probes = p.Probes
+	ctrl.Optimize = p.Optimize
+
+	spec.Mode = tune.ModeV1 // hyper space only; system handled by the pipeline
+	spec.TrialObserver = ctrl.ObserverFor
+	prevDone := spec.OnTrialDone
+	spec.OnTrialDone = func(trialID int, res *trainer.Result) {
+		ctrl.Finish(trialID, res)
+		if prevDone != nil {
+			prevDone(trialID, res)
+		}
+	}
+	return p.Runner.RunJob(spec)
+}
+
+// Bootstrap warm-starts the ground-truth database by profiling each given
+// workload under every probe configuration for one epoch, at several batch
+// sizes — the §7.2 "initial similarity model" campaign (which varies
+// memory, cores AND batch size), scaled down. Varying the batch size
+// matters: it widens each cluster's radius to cover the profile spread
+// that real trials (whose hyperparameters the search varies) will exhibit.
+func (p *PipeTune) Bootstrap(workloads []workload.Workload, seed uint64) error {
+	if p.Runner == nil || p.Runner.Trainer == nil {
+		return errors.New("core: PipeTune not wired")
+	}
+	for wi, w := range workloads {
+		for bi, batch := range []int{32, 1024} {
+			h := params.DefaultHyper()
+			h.Epochs = 1
+			h.BatchSize = batch
+			var features []float64
+			best := probeResult{}
+			haveBest := false
+			mean := 0.0
+			for ci, sys := range p.Probes {
+				res, err := p.Runner.Trainer.Run(w, h, sys, seed+uint64(wi*1000+bi*100+ci), nil)
+				if err != nil {
+					return fmt.Errorf("core: bootstrap %s at %v: %w", w.Name(), sys, err)
+				}
+				epoch := res.Epochs[len(res.Epochs)-1]
+				m := probeResult{sys: sys, duration: epoch.Duration, energyJ: epoch.EnergyJ}
+				if features == nil {
+					features = epoch.Profile.Features()
+				}
+				mean += p.metricOf(m)
+				if !haveBest || p.metricOf(m) < p.metricOf(best) {
+					best = m
+					haveBest = true
+				}
+			}
+			if haveBest {
+				mean /= float64(len(p.Probes))
+				advantage := 1.0
+				if mean > 0 {
+					advantage = p.metricOf(best) / mean
+				}
+				if err := p.GT.Add(Entry{Features: features, BestSys: best.sys, Metric: advantage}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (p *PipeTune) metricOf(m probeResult) float64 {
+	if p.Optimize == MinimizeEnergy {
+		return m.energyJ
+	}
+	return m.duration
+}

@@ -1,0 +1,224 @@
+package costmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pipetune/internal/params"
+	"pipetune/internal/workload"
+)
+
+var lenetMNIST = workload.TraitsFor(workload.Workload{Model: workload.LeNet5, Dataset: workload.MNIST})
+
+func dur(t *testing.T, tr workload.Traits, batch, cores, memGB int) float64 {
+	t.Helper()
+	h := params.DefaultHyper()
+	h.BatchSize = batch
+	d, err := Default().EpochDuration(tr, h, params.SysConfig{Cores: cores, MemoryGB: memGB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDefaultConfigHitsAnchor(t *testing.T) {
+	d, err := Default().EpochDuration(lenetMNIST, params.DefaultHyper(), params.DefaultSysConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := d - lenetMNIST.EpochSeconds; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("default epoch duration = %v, want anchor %v", d, lenetMNIST.EpochSeconds)
+	}
+}
+
+// Figure 3b mechanism: more cores must SLOW DOWN small-batch epochs and
+// SPEED UP large-batch epochs.
+func TestCoresHurtSmallBatch(t *testing.T) {
+	base := dur(t, lenetMNIST, 64, 1, 32)
+	at8 := dur(t, lenetMNIST, 64, 8, 32)
+	if at8 <= base {
+		t.Fatalf("batch 64: 8 cores (%v s) should be slower than 1 core (%v s)", at8, base)
+	}
+	slowdown := at8 / base
+	if slowdown < 1.1 || slowdown > 2.0 {
+		t.Fatalf("batch 64 slowdown at 8 cores = %.2fx, want within [1.1, 2.0] (paper ~1.4x)", slowdown)
+	}
+}
+
+func TestCoresHelpLargeBatch(t *testing.T) {
+	base := dur(t, lenetMNIST, 1024, 1, 32)
+	at8 := dur(t, lenetMNIST, 1024, 8, 32)
+	if at8 >= base {
+		t.Fatalf("batch 1024: 8 cores (%v s) should be faster than 1 core (%v s)", at8, base)
+	}
+	speedup := base / at8
+	if speedup < 1.3 || speedup > 4.0 {
+		t.Fatalf("batch 1024 speedup at 8 cores = %.2fx, want within [1.3, 4.0] (paper ~1.7x)", speedup)
+	}
+}
+
+func TestMidBatchBetweenExtremes(t *testing.T) {
+	rel := func(batch int) float64 {
+		return dur(t, lenetMNIST, batch, 8, 32) / dur(t, lenetMNIST, batch, 1, 32)
+	}
+	r64, r256, r1024 := rel(64), rel(256), rel(1024)
+	if !(r1024 < r256 && r256 < r64) {
+		t.Fatalf("core-scaling ratios not ordered by batch: 64=%.2f 256=%.2f 1024=%.2f", r64, r256, r1024)
+	}
+}
+
+// Figure 3a mechanism: larger batches shorten epochs at the default system
+// configuration (fewer synchronisations).
+func TestLargerBatchShortensEpoch(t *testing.T) {
+	prev := dur(t, lenetMNIST, 32, 8, 8)
+	for _, b := range []int{64, 256, 1024} {
+		d := dur(t, lenetMNIST, b, 8, 8)
+		if d >= prev {
+			t.Fatalf("batch %d epoch (%v s) not shorter than previous (%v s)", b, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestMemoryShortfallPenalises(t *testing.T) {
+	ample := dur(t, lenetMNIST, 256, 8, 32)
+	starved := dur(t, lenetMNIST, 256, 8, 1)
+	if starved <= ample {
+		t.Fatalf("memory starvation did not slow the epoch: %v vs %v", starved, ample)
+	}
+}
+
+func TestMemoryAboveWorkingSetIsFree(t *testing.T) {
+	at16 := dur(t, lenetMNIST, 256, 8, 16)
+	at32 := dur(t, lenetMNIST, 256, 8, 32)
+	if at16 != at32 {
+		t.Fatalf("memory above the working set changed duration: %v vs %v", at16, at32)
+	}
+}
+
+func TestEmbeddingDimScalesTextModels(t *testing.T) {
+	lstm := workload.TraitsFor(workload.Workload{Model: workload.LSTM, Dataset: workload.News20})
+	h := params.DefaultHyper()
+	h.EmbeddingDim = 50
+	lo, err := Default().EpochDuration(lstm, h, params.DefaultSysConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.EmbeddingDim = 300
+	hi, err := Default().EpochDuration(lstm, h, params.DefaultSysConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi <= lo {
+		t.Fatalf("embedding 300 epoch (%v) not slower than embedding 50 (%v)", hi, lo)
+	}
+
+	// LeNet must be insensitive to the embedding dimension.
+	lenetLo, _ := Default().EpochDuration(lenetMNIST, func() params.Hyper { h := params.DefaultHyper(); h.EmbeddingDim = 50; return h }(), params.DefaultSysConfig())
+	lenetHi, _ := Default().EpochDuration(lenetMNIST, func() params.Hyper { h := params.DefaultHyper(); h.EmbeddingDim = 300; return h }(), params.DefaultSysConfig())
+	if lenetLo != lenetHi {
+		t.Fatalf("LeNet duration depends on embedding dim: %v vs %v", lenetLo, lenetHi)
+	}
+}
+
+func TestTrialDurationIncludesInit(t *testing.T) {
+	m := Default()
+	h := params.DefaultHyper()
+	h.Epochs = 3
+	trial, err := m.TrialDuration(lenetMNIST, h, params.DefaultSysConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch, err := m.EpochDuration(lenetMNIST, h, params.DefaultSysConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := m.InitDuration(lenetMNIST) + 3*epoch
+	if diff := trial - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("trial duration %v != init + 3 epochs %v", trial, want)
+	}
+}
+
+func TestBreakdownFractions(t *testing.T) {
+	h := params.DefaultHyper()
+	bd, err := Default().EpochBreakdown(lenetMNIST, h, params.DefaultSysConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := bd.ComputeFraction()
+	if frac <= 0 || frac >= 1 {
+		t.Fatalf("compute fraction = %v, want in (0,1)", frac)
+	}
+	if bd.MemPenalty < 1 {
+		t.Fatalf("memory penalty %v < 1", bd.MemPenalty)
+	}
+	if bd.Total() <= 0 {
+		t.Fatalf("total %v <= 0", bd.Total())
+	}
+}
+
+func TestRejectsInvalidInputs(t *testing.T) {
+	m := Default()
+	h := params.DefaultHyper()
+	badH := h
+	badH.BatchSize = 0
+	if _, err := m.EpochDuration(lenetMNIST, badH, params.DefaultSysConfig()); err == nil {
+		t.Fatal("invalid hyper accepted")
+	}
+	if _, err := m.EpochDuration(lenetMNIST, h, params.SysConfig{Cores: 0, MemoryGB: 8}); err == nil {
+		t.Fatal("invalid sysconfig accepted")
+	}
+	if _, err := m.EpochDuration(workload.Traits{}, h, params.DefaultSysConfig()); err == nil {
+		t.Fatal("invalid traits accepted")
+	}
+}
+
+func TestWithLoad(t *testing.T) {
+	if got := WithLoad(100, 1); got != 100 {
+		t.Fatalf("load 1 changed duration: %v", got)
+	}
+	if got := WithLoad(100, 0.5); got != 100 {
+		t.Fatalf("load < 1 changed duration: %v", got)
+	}
+	two := WithLoad(100, 2)
+	if two <= 200 {
+		t.Fatalf("load 2 = %v, want > 200 (time-sharing + overhead)", two)
+	}
+	three := WithLoad(100, 3)
+	if three <= two {
+		t.Fatal("load 3 not slower than load 2")
+	}
+}
+
+func TestSpeedupMonotone(t *testing.T) {
+	m := Default()
+	prev := 0.0
+	for n := 1; n <= 16; n++ {
+		s := m.Speedup(n)
+		if s <= prev {
+			t.Fatalf("speedup not increasing at n=%d: %v <= %v", n, s, prev)
+		}
+		if s > float64(n) {
+			t.Fatalf("superlinear speedup at n=%d: %v", n, s)
+		}
+		prev = s
+	}
+}
+
+// Property: durations are positive and finite for every point of the paper
+// search spaces across all workloads.
+func TestQuickDurationsPositive(t *testing.T) {
+	m := Default()
+	hSpace := params.PaperHyperSpace()
+	sSpace := params.PaperSystemSpace()
+	f := func(wIdx, hIdx, sIdx uint16) bool {
+		w := workload.Catalog()[int(wIdx)%7]
+		h := hSpace.At(int(hIdx) % hSpace.Size()).ApplyHyper(params.DefaultHyper())
+		sys := sSpace.At(int(sIdx) % sSpace.Size()).ApplySys(params.DefaultSysConfig())
+		d, err := m.EpochDuration(workload.TraitsFor(w), h, sys)
+		return err == nil && d > 0 && d < 1e7
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

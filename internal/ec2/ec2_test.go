@@ -1,0 +1,86 @@
+package ec2
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTrialCountExponential(t *testing.T) {
+	prev := 0
+	for k := 1; k <= 6; k++ {
+		n, err := TrialCount(k, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != int(math.Pow(3, float64(k))) {
+			t.Fatalf("TrialCount(%d,3) = %d", k, n)
+		}
+		if n <= prev {
+			t.Fatal("trial count not growing")
+		}
+		prev = n
+	}
+	if _, err := TrialCount(0, 3); err == nil {
+		t.Fatal("zero params accepted")
+	}
+	if _, err := TrialCount(3, 0); err == nil {
+		t.Fatal("zero values accepted")
+	}
+}
+
+func TestTuningTimeGrowsExponentially(t *testing.T) {
+	h1, err := TuningHours(M44XLarge, 1, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h6, err := TuningHours(M44XLarge, 6, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := h6 / h1; math.Abs(ratio-243) > 1e-9 { // 3^5
+		t.Fatalf("6-param/1-param hours ratio = %v, want 243", ratio)
+	}
+}
+
+func TestBiggerInstancesFasterButCostlier(t *testing.T) {
+	hSmall, _ := TuningHours(M44XLarge, 4, 120)
+	hBig, _ := TuningHours(M524XLarge, 4, 120)
+	if hBig >= hSmall {
+		t.Fatalf("m5.24xlarge (%v h) not faster than m4.4xlarge (%v h)", hBig, hSmall)
+	}
+	cSmall, _ := TuningCostUSD(M44XLarge, 4, 120)
+	cBig, _ := TuningCostUSD(M524XLarge, 4, 120)
+	if cBig <= cSmall {
+		t.Fatalf("m5.24xlarge ($%v) not costlier than m4.4xlarge ($%v)", cBig, cSmall)
+	}
+}
+
+func TestAllSpecsValid(t *testing.T) {
+	for _, it := range All() {
+		spec, err := SpecFor(it)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spec.VCPUs <= 0 || spec.HourlyUSD <= 0 || spec.SpeedFactor <= 0 {
+			t.Fatalf("%v spec invalid: %+v", it, spec)
+		}
+		if it.String() == "" {
+			t.Fatalf("%v has no name", it)
+		}
+	}
+	if _, err := SpecFor(InstanceType(0)); err == nil {
+		t.Fatal("unknown instance accepted")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := TuningHours(M44XLarge, 2, 0); err == nil {
+		t.Fatal("zero trial duration accepted")
+	}
+	if _, err := TuningHours(InstanceType(99), 2, 10); err == nil {
+		t.Fatal("unknown instance accepted")
+	}
+	if _, err := TuningCostUSD(InstanceType(99), 2, 10); err == nil {
+		t.Fatal("unknown instance accepted in cost")
+	}
+}

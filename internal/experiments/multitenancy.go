@@ -1,0 +1,203 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"pipetune/internal/cluster"
+	"pipetune/internal/core"
+	"pipetune/internal/dataset"
+	"pipetune/internal/stats"
+	"pipetune/internal/trainer"
+	"pipetune/internal/tune"
+	"pipetune/internal/workload"
+	"pipetune/internal/xrand"
+)
+
+// MultiTenancyRow is one bar of Figures 13/14: mean response time of a job
+// class under one system.
+type MultiTenancyRow struct {
+	Group        string  `json:"group"` // "Type-I", "Type-II", "Type-III" or "all"
+	System       string  `json:"system"`
+	MeanResponse float64 `json:"meanResponse"`
+}
+
+// MultiTenancyResult holds one full figure.
+type MultiTenancyResult struct {
+	Figure string            `json:"figure"`
+	Jobs   int               `json:"jobs"`
+	Rows   []MultiTenancyRow `json:"rows"`
+}
+
+// Row returns the (group, system) mean response.
+func (r *MultiTenancyResult) Row(group, system string) (MultiTenancyRow, error) {
+	for _, row := range r.Rows {
+		if row.Group == group && row.System == system {
+			return row, nil
+		}
+	}
+	return MultiTenancyRow{}, fmt.Errorf("experiments: no row for %s/%s", group, system)
+}
+
+// Figure13 regenerates Figure 13: average response time of randomly
+// arriving Type-I and Type-II HPT jobs on the shared 4-node cluster, per
+// type and overall, for the three systems. Jobs arrive with exponential
+// inter-arrival times; the two types are balanced 50/50; ~20% of jobs are
+// "unseen" (their workload is absent from PipeTune's warm-started ground
+// truth).
+func Figure13(cfg Config) (*MultiTenancyResult, error) {
+	seen := []workload.Workload{
+		{Model: workload.LeNet5, Dataset: workload.MNIST},
+		{Model: workload.CNN, Dataset: workload.News20},
+		{Model: workload.LSTM, Dataset: workload.News20},
+	}
+	unseen := workload.Workload{Model: workload.LeNet5, Dataset: workload.FashionMNIST}
+	// Balanced Type-I/Type-II mix, round-robin within a type (§7.4); every
+	// fifth job is the unseen workload (20%).
+	mix := make([]workload.Workload, cfg.MultiTenantJobs)
+	typeI := []workload.Workload{seen[0], unseen}
+	typeII := []workload.Workload{seen[1], seen[2]}
+	i1, i2 := 0, 0
+	for i := range mix {
+		if i%2 == 0 {
+			if (i/2)%2 == 1 { // roughly 20-25% of all jobs are the unseen one
+				mix[i] = typeI[1]
+			} else {
+				mix[i] = typeI[0]
+			}
+			i1++
+		} else {
+			mix[i] = typeII[i2%len(typeII)]
+			i2++
+		}
+	}
+	groupOf := func(w workload.Workload) string { return w.Type().String() }
+	return multiTenancy(cfg, "Figure 13", mix, seen, groupOf, false, 2)
+}
+
+// Figure14 regenerates Figure 14: the same trace machinery for Type-III
+// jobs on the single-node testbed (one job slot), per workload and overall.
+func Figure14(cfg Config) (*MultiTenancyResult, error) {
+	seen := []workload.Workload{
+		{Model: workload.Jacobi, Dataset: workload.Rodinia},
+		{Model: workload.SPKMeans, Dataset: workload.Rodinia},
+	}
+	unseen := workload.Workload{Model: workload.BFS, Dataset: workload.Rodinia}
+	all := []workload.Workload{seen[0], seen[1], unseen}
+	mix := make([]workload.Workload, cfg.MultiTenantJobs)
+	for i := range mix {
+		if i%5 == 4 {
+			mix[i] = unseen // 20% unseen
+		} else {
+			mix[i] = all[i%2] // round robin over the seen kernels
+		}
+	}
+	groupOf := func(w workload.Workload) string { return w.Model.String() }
+	return multiTenancy(cfg, "Figure 14", mix, seen, groupOf, true, 1)
+}
+
+// multiTenancy runs the shared-cluster trace for all three systems.
+func multiTenancy(cfg Config, figure string, mix, bootstrapSet []workload.Workload,
+	groupOf func(workload.Workload) string, onSingleNode bool, slots int) (*MultiTenancyResult, error) {
+
+	// The corpus can be tiny here: response times depend only on simulated
+	// durations, which derive from Table 3's full sizes.
+	tinyCfg := cfg
+	tinyCfg.Data = dataset.Config{TrainSize: 96, TestSize: 48}
+
+	mkTrainer := func() *trainer.Runner { return newTrainer(tinyCfg) }
+	mkCluster := paperCluster
+	if onSingleNode {
+		mkCluster = singleNode
+	}
+
+	// Per-job tuning durations under each system. PipeTune processes jobs
+	// in arrival order against one shared, warm-started ground truth.
+	durations := make(map[string][]float64, 3)
+	runBaseline := func(mode tune.Mode) ([]float64, error) {
+		runner := tune.NewRunner(mkTrainer(), mkCluster())
+		out := make([]float64, len(mix))
+		for i, w := range mix {
+			res, err := runner.RunJob(jobSpec(tinyCfg, w, mode, cfg.Seed+uint64(i)*13, onSingleNode))
+			if err != nil {
+				return nil, err
+			}
+			out[i] = res.TuningTime
+		}
+		return out, nil
+	}
+	var err error
+	if durations[SystemV1], err = runBaseline(tune.ModeV1); err != nil {
+		return nil, fmt.Errorf("%s v1: %w", figure, err)
+	}
+	if durations[SystemV2], err = runBaseline(tune.ModeV2); err != nil {
+		return nil, fmt.Errorf("%s v2: %w", figure, err)
+	}
+
+	pt := core.New(tune.NewRunner(mkTrainer(), mkCluster()), cfg.Seed)
+	if onSingleNode {
+		pt.Probes = singleNodeProbes()
+	}
+	if err := pt.Bootstrap(bootstrapSet, cfg.Seed+1); err != nil {
+		return nil, err
+	}
+	ptDur := make([]float64, len(mix))
+	for i, w := range mix {
+		res, err := pt.RunJob(jobSpec(tinyCfg, w, tune.ModeV1, cfg.Seed+uint64(i)*13, onSingleNode))
+		if err != nil {
+			return nil, fmt.Errorf("%s pipetune: %w", figure, err)
+		}
+		ptDur[i] = res.TuningTime
+	}
+	durations[SystemPipeTune] = ptDur
+
+	// One arrival process shared by all systems: load factor ~80% of the
+	// V1 service capacity, so queues form but stay stable.
+	meanV1 := stats.Mean(durations[SystemV1])
+	arrivals := cluster.PoissonArrivals(xrand.New(cfg.Seed+7), len(mix), meanV1/float64(slots)/0.8)
+
+	res := &MultiTenancyResult{Figure: figure, Jobs: len(mix)}
+	for _, system := range []string{SystemV1, SystemV2, SystemPipeTune} {
+		jobs := make([]cluster.Job, len(mix))
+		for i := range mix {
+			jobs[i] = cluster.Job{ID: i, Arrival: arrivals[i], Duration: durations[system][i]}
+		}
+		jstats, err := cluster.SimulateFIFO(jobs, slots)
+		if err != nil {
+			return nil, err
+		}
+		byGroup := map[string][]float64{}
+		var overall []float64
+		for i, s := range jstats {
+			g := groupOf(mix[i])
+			byGroup[g] = append(byGroup[g], s.Response)
+			overall = append(overall, s.Response)
+		}
+		groups := make([]string, 0, len(byGroup))
+		for g := range byGroup {
+			groups = append(groups, g)
+		}
+		sort.Strings(groups)
+		for _, g := range groups {
+			res.Rows = append(res.Rows, MultiTenancyRow{
+				Group: g, System: system, MeanResponse: stats.Mean(byGroup[g]),
+			})
+		}
+		res.Rows = append(res.Rows, MultiTenancyRow{
+			Group: "all", System: system, MeanResponse: stats.Mean(overall),
+		})
+	}
+	return res, nil
+}
+
+// Table renders the figure.
+func (r *MultiTenancyResult) Table() *Table {
+	t := &Table{
+		Title:  r.Figure + ": mean response time on the shared cluster",
+		Header: []string{"group", "system", "mean response [s]"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{row.Group, row.System, f1(row.MeanResponse)})
+	}
+	return t
+}

@@ -1,0 +1,49 @@
+package nn
+
+import (
+	"testing"
+
+	"pipetune/internal/dataset"
+	"pipetune/internal/params"
+	"pipetune/internal/workload"
+	"pipetune/internal/xrand"
+)
+
+func BenchmarkTrainEpochLeNet(b *testing.B) {
+	w := workload.Workload{Model: workload.LeNet5, Dataset: workload.MNIST}
+	train, _, err := dataset.Generate(w, 1, dataset.Config{TrainSize: 512, TestSize: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := xrand.New(1)
+	net, err := Build(w.Model, train.Dim, train.NumClasses, params.DefaultHyper(), r.Split())
+	if err != nil {
+		b.Fatal(err)
+	}
+	shuffler := r.Split()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.TrainEpoch(train, 32, 0.01, shuffler); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEvaluate(b *testing.B) {
+	w := workload.Workload{Model: workload.CNN, Dataset: workload.News20}
+	train, test, err := dataset.Generate(w, 1, dataset.Config{TrainSize: 256, TestSize: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := xrand.New(1)
+	net, err := Build(w.Model, train.Dim, train.NumClasses, params.DefaultHyper(), r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := net.Evaluate(test); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

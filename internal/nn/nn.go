@@ -1,0 +1,485 @@
+// Package nn is a small, dependency-free neural-network library with real
+// minibatch stochastic gradient descent.
+//
+// PipeTune's premise (§1, §5) is that SGD training is iterative and
+// repetitive at epoch granularity — this package supplies genuine iterative
+// SGD so that the hyperparameters the paper tunes (batch size, learning
+// rate, dropout, capacity/embedding width, epochs) influence accuracy
+// through the true mechanism rather than a curve fit. Only epoch *duration*
+// is delegated to the analytical cost model (package costmodel), because
+// wall-clock time on the reproduction host is not the quantity under study.
+//
+// The library provides dense layers, ReLU/Tanh activations, inverted
+// dropout, a fused softmax cross-entropy head, and a model zoo mirroring
+// the paper's architectures (LeNet5, CNN, LSTM, plus the Rodinia kernels'
+// small classifiers).
+package nn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"pipetune/internal/dataset"
+	"pipetune/internal/params"
+	"pipetune/internal/workload"
+	"pipetune/internal/xrand"
+)
+
+// Batch is a minibatch of feature vectors (rows = samples).
+type Batch = [][]float64
+
+// Layer is one differentiable network stage. Forward must cache whatever it
+// needs for the subsequent Backward; Update applies accumulated gradients.
+// Layers are not safe for concurrent use: one network per trial.
+type Layer interface {
+	// Forward maps inputs to outputs. train toggles training-only
+	// behaviour (dropout masks).
+	Forward(x Batch, train bool) Batch
+	// Backward receives dLoss/dOutput and returns dLoss/dInput, caching
+	// parameter gradients for Update.
+	Backward(grad Batch) Batch
+	// Update applies one SGD step with the given learning rate.
+	Update(lr float64)
+	// ParamCount returns the number of trainable parameters.
+	ParamCount() int
+}
+
+// Dense is a fully connected layer with bias.
+type Dense struct {
+	In, Out int
+	w       []float64 // In*Out, row-major by input
+	b       []float64
+	x       Batch // cached input
+	gw      []float64
+	gb      []float64
+}
+
+// NewDense creates a dense layer with He-uniform initial weights drawn from r.
+func NewDense(in, out int, r *xrand.Source) *Dense {
+	d := &Dense{
+		In: in, Out: out,
+		w:  make([]float64, in*out),
+		b:  make([]float64, out),
+		gw: make([]float64, in*out),
+		gb: make([]float64, out),
+	}
+	limit := math.Sqrt(6.0 / float64(in))
+	for i := range d.w {
+		d.w[i] = r.Range(-limit, limit)
+	}
+	return d
+}
+
+// Forward implements Layer.
+func (d *Dense) Forward(x Batch, _ bool) Batch {
+	d.x = x
+	out := make(Batch, len(x))
+	for s, row := range x {
+		o := make([]float64, d.Out)
+		copy(o, d.b)
+		for i, xi := range row {
+			if xi == 0 {
+				continue
+			}
+			wRow := d.w[i*d.Out : (i+1)*d.Out]
+			for j, wij := range wRow {
+				o[j] += xi * wij
+			}
+		}
+		out[s] = o
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad Batch) Batch {
+	for i := range d.gw {
+		d.gw[i] = 0
+	}
+	for j := range d.gb {
+		d.gb[j] = 0
+	}
+	dx := make(Batch, len(grad))
+	for s, g := range grad {
+		row := d.x[s]
+		dxRow := make([]float64, d.In)
+		for i, xi := range row {
+			wRow := d.w[i*d.Out : (i+1)*d.Out]
+			gwRow := d.gw[i*d.Out : (i+1)*d.Out]
+			acc := 0.0
+			for j, gj := range g {
+				gwRow[j] += xi * gj
+				acc += wRow[j] * gj
+			}
+			dxRow[i] = acc
+		}
+		for j, gj := range g {
+			d.gb[j] += gj
+		}
+		dx[s] = dxRow
+	}
+	return dx
+}
+
+// Update implements Layer.
+func (d *Dense) Update(lr float64) {
+	for i, g := range d.gw {
+		d.w[i] -= lr * g
+	}
+	for j, g := range d.gb {
+		d.b[j] -= lr * g
+	}
+}
+
+// ParamCount implements Layer.
+func (d *Dense) ParamCount() int { return d.In*d.Out + d.Out }
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	mask []bool
+	cols int
+}
+
+// Forward implements Layer.
+func (a *ReLU) Forward(x Batch, _ bool) Batch {
+	if len(x) > 0 {
+		a.cols = len(x[0])
+	}
+	if need := len(x) * a.cols; cap(a.mask) < need {
+		a.mask = make([]bool, need)
+	} else {
+		a.mask = a.mask[:need]
+	}
+	out := make(Batch, len(x))
+	for s, row := range x {
+		o := make([]float64, len(row))
+		for i, v := range row {
+			if v > 0 {
+				o[i] = v
+				a.mask[s*a.cols+i] = true
+			} else {
+				a.mask[s*a.cols+i] = false
+			}
+		}
+		out[s] = o
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (a *ReLU) Backward(grad Batch) Batch {
+	out := make(Batch, len(grad))
+	for s, row := range grad {
+		o := make([]float64, len(row))
+		for i, v := range row {
+			if a.mask[s*a.cols+i] {
+				o[i] = v
+			}
+		}
+		out[s] = o
+	}
+	return out
+}
+
+// Update implements Layer (no parameters).
+func (a *ReLU) Update(float64) {}
+
+// ParamCount implements Layer.
+func (a *ReLU) ParamCount() int { return 0 }
+
+// Tanh is the hyperbolic-tangent activation (used by the LSTM stand-in).
+type Tanh struct {
+	y Batch
+}
+
+// Forward implements Layer.
+func (a *Tanh) Forward(x Batch, _ bool) Batch {
+	out := make(Batch, len(x))
+	for s, row := range x {
+		o := make([]float64, len(row))
+		for i, v := range row {
+			o[i] = math.Tanh(v)
+		}
+		out[s] = o
+	}
+	a.y = out
+	return out
+}
+
+// Backward implements Layer.
+func (a *Tanh) Backward(grad Batch) Batch {
+	out := make(Batch, len(grad))
+	for s, row := range grad {
+		o := make([]float64, len(row))
+		for i, v := range row {
+			y := a.y[s][i]
+			o[i] = v * (1 - y*y)
+		}
+		out[s] = o
+	}
+	return out
+}
+
+// Update implements Layer (no parameters).
+func (a *Tanh) Update(float64) {}
+
+// ParamCount implements Layer.
+func (a *Tanh) ParamCount() int { return 0 }
+
+// Dropout implements inverted dropout: active only in training mode, where
+// each unit is zeroed with probability Rate and survivors are scaled by
+// 1/(1-Rate) so evaluation needs no rescaling.
+type Dropout struct {
+	Rate float64
+	r    *xrand.Source
+	mask Batch
+}
+
+// NewDropout creates a dropout layer with its own random stream.
+func NewDropout(rate float64, r *xrand.Source) *Dropout {
+	return &Dropout{Rate: rate, r: r}
+}
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x Batch, train bool) Batch {
+	if !train || d.Rate <= 0 {
+		d.mask = nil
+		return x
+	}
+	keep := 1 - d.Rate
+	d.mask = make(Batch, len(x))
+	out := make(Batch, len(x))
+	for s, row := range x {
+		m := make([]float64, len(row))
+		o := make([]float64, len(row))
+		for i, v := range row {
+			if d.r.Float64() < keep {
+				m[i] = 1 / keep
+				o[i] = v / keep
+			}
+		}
+		d.mask[s] = m
+		out[s] = o
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad Batch) Batch {
+	if d.mask == nil {
+		return grad
+	}
+	out := make(Batch, len(grad))
+	for s, row := range grad {
+		o := make([]float64, len(row))
+		for i, v := range row {
+			o[i] = v * d.mask[s][i]
+		}
+		out[s] = o
+	}
+	return out
+}
+
+// Update implements Layer (no parameters).
+func (d *Dropout) Update(float64) {}
+
+// ParamCount implements Layer.
+func (d *Dropout) ParamCount() int { return 0 }
+
+// Network is a sequential stack of layers with a softmax cross-entropy head.
+type Network struct {
+	layers []Layer
+}
+
+// NewNetwork builds a network from the given layers.
+func NewNetwork(layers ...Layer) *Network {
+	return &Network{layers: layers}
+}
+
+// ParamCount returns the total number of trainable parameters.
+func (n *Network) ParamCount() int {
+	total := 0
+	for _, l := range n.layers {
+		total += l.ParamCount()
+	}
+	return total
+}
+
+// Forward runs the stack and returns the logits.
+func (n *Network) Forward(x Batch, train bool) Batch {
+	for _, l := range n.layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// softmaxXE computes per-sample softmax probabilities, the mean
+// cross-entropy loss, and dLoss/dLogits (already divided by batch size).
+func softmaxXE(logits Batch, labels []int) (loss float64, grad Batch) {
+	grad = make(Batch, len(logits))
+	for s, row := range logits {
+		maxV := row[0]
+		for _, v := range row[1:] {
+			if v > maxV {
+				maxV = v
+			}
+		}
+		sum := 0.0
+		probs := make([]float64, len(row))
+		for i, v := range row {
+			probs[i] = math.Exp(v - maxV)
+			sum += probs[i]
+		}
+		for i := range probs {
+			probs[i] /= sum
+		}
+		p := probs[labels[s]]
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		loss += -math.Log(p)
+		g := probs
+		g[labels[s]] -= 1
+		inv := 1 / float64(len(logits))
+		for i := range g {
+			g[i] *= inv
+		}
+		grad[s] = g
+	}
+	loss /= float64(len(logits))
+	return loss, grad
+}
+
+// TrainBatch runs one forward+backward pass over the minibatch and applies
+// one SGD update. It returns the pre-update mean cross-entropy loss.
+func (n *Network) TrainBatch(x Batch, labels []int, lr float64) (float64, error) {
+	if len(x) == 0 || len(x) != len(labels) {
+		return 0, errors.New("nn: batch and labels must be non-empty and equal length")
+	}
+	logits := n.Forward(x, true)
+	loss, grad := softmaxXE(logits, labels)
+	for i := len(n.layers) - 1; i >= 0; i-- {
+		grad = n.layers[i].Backward(grad)
+	}
+	for _, l := range n.layers {
+		l.Update(lr)
+	}
+	return loss, nil
+}
+
+// TrainEpoch runs one full epoch of minibatch SGD over set, shuffling with
+// r, and returns the mean training loss across batches.
+func (n *Network) TrainEpoch(set *dataset.Set, batchSize int, lr float64, r *xrand.Source) (float64, error) {
+	if set.Len() == 0 {
+		return 0, errors.New("nn: empty training set")
+	}
+	if batchSize <= 0 {
+		return 0, fmt.Errorf("nn: invalid batch size %d", batchSize)
+	}
+	perm := r.Perm(set.Len())
+	total, batches := 0.0, 0
+	for _, idx := range dataset.Batches(set.Len(), batchSize, perm) {
+		x := make(Batch, len(idx))
+		labels := make([]int, len(idx))
+		for i, sIdx := range idx {
+			x[i] = set.Samples[sIdx].Features
+			labels[i] = set.Samples[sIdx].Label
+		}
+		loss, err := n.TrainBatch(x, labels, lr)
+		if err != nil {
+			return 0, err
+		}
+		total += loss
+		batches++
+	}
+	return total / float64(batches), nil
+}
+
+// Evaluate returns classification accuracy in [0,1] and the mean loss on set.
+func (n *Network) Evaluate(set *dataset.Set) (accuracy, loss float64, err error) {
+	if set.Len() == 0 {
+		return 0, 0, errors.New("nn: empty evaluation set")
+	}
+	const chunk = 256
+	correct := 0
+	totalLoss := 0.0
+	for start := 0; start < set.Len(); start += chunk {
+		end := start + chunk
+		if end > set.Len() {
+			end = set.Len()
+		}
+		x := make(Batch, end-start)
+		labels := make([]int, end-start)
+		for i := start; i < end; i++ {
+			x[i-start] = set.Samples[i].Features
+			labels[i-start] = set.Samples[i].Label
+		}
+		logits := n.Forward(x, false)
+		l, _ := softmaxXE(logits, labels)
+		totalLoss += l * float64(end-start)
+		for s, row := range logits {
+			best := 0
+			for i, v := range row {
+				if v > row[best] {
+					best = i
+				}
+			}
+			if best == labels[s] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(set.Len()), totalLoss / float64(set.Len()), nil
+}
+
+// Build constructs the architecture for the given model per the paper's
+// zoo: LeNet5 (compact CNN stand-in), CNN and LSTM text classifiers whose
+// first hidden width is the tunable embedding dimension (§7.1.3 item 3),
+// and small classifiers for the Rodinia Type-III kernels.
+func Build(m workload.Model, inputDim, classes int, h params.Hyper, r *xrand.Source) (*Network, error) {
+	if inputDim <= 0 || classes <= 1 {
+		return nil, fmt.Errorf("nn: invalid shape in=%d classes=%d", inputDim, classes)
+	}
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	emb := h.EmbeddingDim
+	switch m {
+	case workload.LeNet5:
+		return NewNetwork(
+			NewDense(inputDim, 48, r),
+			&ReLU{},
+			NewDropout(h.Dropout, r.Split()),
+			NewDense(48, 24, r),
+			&ReLU{},
+			NewDense(24, classes, r),
+		), nil
+	case workload.CNN:
+		return NewNetwork(
+			NewDense(inputDim, emb, r),
+			&ReLU{},
+			NewDropout(h.Dropout, r.Split()),
+			NewDense(emb, 48, r),
+			&ReLU{},
+			NewDense(48, classes, r),
+		), nil
+	case workload.LSTM:
+		return NewNetwork(
+			NewDense(inputDim, emb, r),
+			&Tanh{},
+			NewDropout(h.Dropout, r.Split()),
+			NewDense(emb, emb/2+1, r),
+			&Tanh{},
+			NewDense(emb/2+1, classes, r),
+		), nil
+	case workload.Jacobi, workload.SPKMeans, workload.BFS:
+		return NewNetwork(
+			NewDense(inputDim, 16, r),
+			&ReLU{},
+			NewDense(16, classes, r),
+		), nil
+	default:
+		return nil, fmt.Errorf("nn: unknown model %v", m)
+	}
+}

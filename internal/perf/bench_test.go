@@ -1,0 +1,33 @@
+package perf
+
+import (
+	"testing"
+
+	"pipetune/internal/params"
+	"pipetune/internal/workload"
+	"pipetune/internal/xrand"
+)
+
+func BenchmarkSample(b *testing.B) {
+	s := NewSampler()
+	tr := workload.TraitsFor(workload.Workload{Model: workload.CNN, Dataset: workload.News20})
+	r := xrand.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Sample(r, tr, params.DefaultHyper(), params.DefaultSysConfig(), PhaseTrain); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEpochProfile(b *testing.B) {
+	s := NewSampler()
+	tr := workload.TraitsFor(workload.Workload{Model: workload.LSTM, Dataset: workload.News20})
+	r := xrand.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.EpochProfile(r, tr, params.DefaultHyper(), params.DefaultSysConfig(), PhaseTrain, 300); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package search
+
+import (
+	"testing"
+
+	"pipetune/internal/params"
+	"pipetune/internal/xrand"
+)
+
+func benchSpace() params.Space {
+	return params.Space{
+		{Name: "a", Values: []float64{1, 2, 3, 4}},
+		{Name: "b", Values: []float64{1, 2, 3, 4}},
+		{Name: "c", Values: []float64{1, 2, 3}},
+	}
+}
+
+// drainBench runs a searcher to exhaustion with a trivial objective.
+func drainBench(b *testing.B, s Searcher) {
+	b.Helper()
+	for {
+		batch := s.Next()
+		if len(batch) == 0 {
+			return
+		}
+		reports := make([]Report, len(batch))
+		for i, sg := range batch {
+			reports[i] = Report{ID: sg.ID, Score: sg.Assignment["a"] - sg.Assignment["b"]}
+		}
+		s.Observe(reports)
+	}
+}
+
+func BenchmarkHyperBand(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := NewHyperBand(benchSpace(), 9, 3, xrand.New(uint64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		drainBench(b, s)
+	}
+}
+
+func BenchmarkGenetic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := NewGenetic(benchSpace(), 12, 5, xrand.New(uint64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		drainBench(b, s)
+	}
+}
+
+func BenchmarkBayesian(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s, err := NewBayesian(benchSpace(), 24, xrand.New(uint64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		drainBench(b, s)
+	}
+}

@@ -1,0 +1,280 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pipetune/internal/xrand"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMean(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{5}, 5},
+		{"uniform", []float64{2, 2, 2}, 2},
+		{"mixed", []float64{1, 2, 3, 4}, 2.5},
+		{"negative", []float64{-1, 1}, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := Mean(tc.in); !almostEqual(got, tc.want, 1e-12) {
+				t.Fatalf("Mean(%v) = %v, want %v", tc.in, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestStdDev(t *testing.T) {
+	if got := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}); !almostEqual(got, 2, 1e-12) {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+	if got := StdDev([]float64{1}); got != 0 {
+		t.Fatalf("StdDev of singleton = %v, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 0}
+	mn, err := Min(xs)
+	if err != nil || mn != -1 {
+		t.Fatalf("Min = %v, %v", mn, err)
+	}
+	mx, err := Max(xs)
+	if err != nil || mx != 7 {
+		t.Fatalf("Max = %v, %v", mx, err)
+	}
+	if _, err := Min(nil); err != ErrEmpty {
+		t.Fatalf("Min(nil) err = %v, want ErrEmpty", err)
+	}
+	if _, err := Max(nil); err != ErrEmpty {
+		t.Fatalf("Max(nil) err = %v, want ErrEmpty", err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5},
+	}
+	for _, tc := range cases {
+		got, err := Percentile(xs, tc.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !almostEqual(got, tc.want, 1e-12) {
+			t.Fatalf("Percentile(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); err != ErrEmpty {
+		t.Fatalf("empty percentile err = %v, want ErrEmpty", err)
+	}
+	// Out-of-range p is clamped.
+	got, _ := Percentile(xs, 150)
+	if got != 5 {
+		t.Fatalf("Percentile(150) = %v, want 5", got)
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Percentile mutated its input: %v", xs)
+	}
+}
+
+func TestTrapezoid(t *testing.T) {
+	// Integral of y = x from 0 to 4 is 8; trapezoid is exact for linear.
+	x := []float64{0, 1, 2, 3, 4}
+	y := []float64{0, 1, 2, 3, 4}
+	got, err := Trapezoid(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 8, 1e-12) {
+		t.Fatalf("Trapezoid = %v, want 8", got)
+	}
+}
+
+func TestTrapezoidConstantPower(t *testing.T) {
+	// 100 W held for 60 one-second samples => ~5900 J (59 intervals).
+	y := make([]float64, 60)
+	for i := range y {
+		y[i] = 100
+	}
+	got := TrapezoidUniform(y, 1)
+	if !almostEqual(got, 5900, 1e-9) {
+		t.Fatalf("constant power energy = %v, want 5900", got)
+	}
+}
+
+func TestTrapezoidErrors(t *testing.T) {
+	if _, err := Trapezoid([]float64{0, 1}, []float64{1}); err == nil {
+		t.Fatal("length mismatch not rejected")
+	}
+	if _, err := Trapezoid([]float64{1, 0}, []float64{1, 1}); err == nil {
+		t.Fatal("decreasing x not rejected")
+	}
+	got, err := Trapezoid([]float64{1}, []float64{5})
+	if err != nil || got != 0 {
+		t.Fatalf("single point integral = %v, %v; want 0, nil", got, err)
+	}
+}
+
+func TestWelfordMatchesBatch(t *testing.T) {
+	r := xrand.New(99)
+	xs := make([]float64, 1000)
+	var w Welford
+	for i := range xs {
+		xs[i] = r.NormFloat64()*3 + 10
+		w.Add(xs[i])
+	}
+	if !almostEqual(w.Mean(), Mean(xs), 1e-9) {
+		t.Fatalf("Welford mean %v != batch mean %v", w.Mean(), Mean(xs))
+	}
+	if !almostEqual(w.StdDev(), StdDev(xs), 1e-9) {
+		t.Fatalf("Welford std %v != batch std %v", w.StdDev(), StdDev(xs))
+	}
+	if w.N() != len(xs) {
+		t.Fatalf("Welford N = %d, want %d", w.N(), len(xs))
+	}
+}
+
+func TestWelfordZeroValue(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.N() != 0 {
+		t.Fatal("zero-value Welford not neutral")
+	}
+}
+
+func TestEuclideanDistance(t *testing.T) {
+	d, err := EuclideanDistance([]float64{0, 0}, []float64{3, 4})
+	if err != nil || !almostEqual(d, 5, 1e-12) {
+		t.Fatalf("distance = %v, %v; want 5", d, err)
+	}
+	if _, err := EuclideanDistance([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch not rejected")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	Normalize(xs)
+	if !almostEqual(Mean(xs), 0, 1e-12) {
+		t.Fatalf("normalized mean = %v", Mean(xs))
+	}
+	if !almostEqual(StdDev(xs), 1, 1e-12) {
+		t.Fatalf("normalized std = %v", StdDev(xs))
+	}
+
+	constant := []float64{7, 7, 7}
+	Normalize(constant)
+	for _, v := range constant {
+		if v != 0 {
+			t.Fatalf("constant vector normalized to %v, want zeros", constant)
+		}
+	}
+}
+
+func TestLog1pScale(t *testing.T) {
+	out := Log1pScale([]float64{0, math.E - 1, -5})
+	if !almostEqual(out[0], 0, 1e-12) || !almostEqual(out[1], 1, 1e-12) {
+		t.Fatalf("Log1pScale = %v", out)
+	}
+	if out[2] != 0 {
+		t.Fatalf("negative input should clamp to 0, got %v", out[2])
+	}
+}
+
+func TestRelDiffPercent(t *testing.T) {
+	if got := RelDiffPercent(150, 100); !almostEqual(got, 50, 1e-12) {
+		t.Fatalf("RelDiffPercent = %v, want 50", got)
+	}
+	if got := RelDiffPercent(50, 100); !almostEqual(got, -50, 1e-12) {
+		t.Fatalf("RelDiffPercent = %v, want -50", got)
+	}
+	if got := RelDiffPercent(1, 0); got != 0 {
+		t.Fatalf("zero baseline = %v, want 0", got)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(200, 100); !almostEqual(got, 2, 1e-12) {
+		t.Fatalf("Speedup = %v, want 2", got)
+	}
+	if got := Speedup(1, 0); !math.IsInf(got, 1) {
+		t.Fatalf("Speedup with zero value = %v, want +Inf", got)
+	}
+}
+
+// Property: mean lies within [min, max] of the sample.
+func TestQuickMeanBounded(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e9 {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m := Mean(xs)
+		mn, _ := Min(xs)
+		mx, _ := Max(xs)
+		return m >= mn-1e-6 && m <= mx+1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: trapezoid of non-negative samples is non-negative.
+func TestQuickTrapezoidSign(t *testing.T) {
+	f := func(raw []float64) bool {
+		y := make([]float64, len(raw))
+		for i, v := range raw {
+			y[i] = math.Abs(math.Mod(v, 1e6))
+			if math.IsNaN(y[i]) {
+				y[i] = 0
+			}
+		}
+		return TrapezoidUniform(y, 1) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Welford matches batch stats for arbitrary bounded inputs.
+func TestQuickWelfordConsistent(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e6 {
+				xs = append(xs, v)
+			}
+		}
+		var w Welford
+		for _, x := range xs {
+			w.Add(x)
+		}
+		return almostEqual(w.Mean(), Mean(xs), 1e-6) &&
+			almostEqual(w.StdDev(), StdDev(xs), 1e-6)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,314 @@
+// Package trainer is the training-framework substrate (the paper uses BigDL
+// on Spark, §6): it executes one training trial epoch by epoch, producing
+// for every epoch the quantities the rest of the system consumes —
+//
+//   - genuine SGD learning progress (loss/accuracy) from package nn,
+//   - simulated epoch duration from package costmodel,
+//   - energy from package energy (power series recorded to the tsdb),
+//   - a 58-event PMU profile from package perf.
+//
+// Crucially for PipeTune, the trainer exposes an EpochObserver invoked at
+// every epoch boundary which may change the system configuration for the
+// remaining epochs — the mechanism behind Algorithm 1's pipelined
+// tuneSystem: system tuning proceeds *inside* the trial without pausing it.
+package trainer
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"pipetune/internal/costmodel"
+	"pipetune/internal/dataset"
+	"pipetune/internal/energy"
+	"pipetune/internal/nn"
+	"pipetune/internal/params"
+	"pipetune/internal/perf"
+	"pipetune/internal/tsdb"
+	"pipetune/internal/workload"
+	"pipetune/internal/xrand"
+)
+
+// EpochStats describes one completed epoch (or the init phase, Epoch = 0
+// with Init = true).
+type EpochStats struct {
+	Epoch     int              `json:"epoch"` // 1-based; 0 for init
+	Init      bool             `json:"init"`
+	Sys       params.SysConfig `json:"sys"`      // configuration this epoch ran with
+	Duration  float64          `json:"duration"` // simulated seconds
+	EndTime   float64          `json:"endTime"`  // simulated time at epoch end
+	TrainLoss float64          `json:"trainLoss"`
+	Accuracy  float64          `json:"accuracy"` // test accuracy after this epoch
+	EnergyJ   float64          `json:"energyJ"`
+	Profile   perf.Profile     `json:"-"`
+}
+
+// Result is the outcome of a full trial.
+type Result struct {
+	Workload workload.Workload `json:"workload"`
+	Hyper    params.Hyper      `json:"hyper"`
+	FinalSys params.SysConfig  `json:"finalSys"`
+	Accuracy float64           `json:"accuracy"` // final test accuracy
+	Duration float64           `json:"duration"` // total simulated seconds (init + epochs)
+	EnergyJ  float64           `json:"energyJ"`
+	Epochs   []EpochStats      `json:"epochs"`
+}
+
+// EpochObserver receives epoch-boundary callbacks. Returning a non-nil
+// configuration switches the trial's system parameters for subsequent
+// epochs (the cluster allocation is the caller's concern). Observers run
+// synchronously inside the trial.
+type EpochObserver interface {
+	OnEpochEnd(trialSeed uint64, w workload.Workload, h params.Hyper, s EpochStats) *params.SysConfig
+}
+
+// ObserverFunc adapts a function to EpochObserver.
+type ObserverFunc func(trialSeed uint64, w workload.Workload, h params.Hyper, s EpochStats) *params.SysConfig
+
+// OnEpochEnd implements EpochObserver.
+func (f ObserverFunc) OnEpochEnd(seed uint64, w workload.Workload, h params.Hyper, s EpochStats) *params.SysConfig {
+	return f(seed, w, h, s)
+}
+
+// Runner executes trials. It is safe for concurrent use: per-trial state is
+// local, and the dataset cache and tsdb are lock-protected.
+type Runner struct {
+	Cost    costmodel.Model
+	Power   energy.PowerModel
+	Sampler *perf.Sampler
+	Data    dataset.Config
+
+	// DB, when non-nil, receives 1 Hz power samples ("power") and
+	// per-epoch profile summaries ("epochs") exactly like the paper's
+	// InfluxDB backend.
+	DB *tsdb.DB
+
+	// Load is the contention multiplier applied to every epoch duration
+	// (1 = dedicated resources; >1 = co-located jobs, Figure 5's setup).
+	Load float64
+
+	// DataSeed seeds corpus synthesis. It is deliberately independent of
+	// trial seeds: all trials of a workload see the same corpus, exactly
+	// as all trials of a real HPT job read the same dataset.
+	DataSeed uint64
+
+	mu    sync.Mutex
+	cache map[string]*corpusPair
+}
+
+type corpusPair struct {
+	train, test *dataset.Set
+}
+
+// NewRunner returns a Runner with the calibrated default models.
+func NewRunner() *Runner {
+	return &Runner{
+		Cost:     costmodel.Default(),
+		Power:    energy.DefaultPowerModel(),
+		Sampler:  perf.NewSampler(),
+		Data:     dataset.DefaultConfig(),
+		Load:     1,
+		DataSeed: 0x0da7a5eed,
+	}
+}
+
+// corpus returns (and caches) the dataset split for a workload. The cache
+// key includes only the dataset and sizes — matching the paper's reality
+// that Type-II workloads share one corpus. Synthesis always uses DataSeed,
+// never a trial seed, so concurrent trials cannot race on corpus identity.
+func (r *Runner) corpus(w workload.Workload) (*corpusPair, error) {
+	key := w.Dataset.String() + "/" + strconv.Itoa(r.Data.TrainSize) + "/" + strconv.Itoa(r.Data.TestSize)
+	r.mu.Lock()
+	if r.cache == nil {
+		r.cache = make(map[string]*corpusPair)
+	}
+	if cp, ok := r.cache[key]; ok {
+		r.mu.Unlock()
+		return cp, nil
+	}
+	r.mu.Unlock()
+
+	// Generation happens outside the lock; duplicate work on a race is
+	// harmless because generation is deterministic.
+	train, test, err := dataset.Generate(w, r.DataSeed, r.Data)
+	if err != nil {
+		return nil, err
+	}
+	cp := &corpusPair{train: train, test: test}
+	r.mu.Lock()
+	r.cache[key] = cp
+	r.mu.Unlock()
+	return cp, nil
+}
+
+// record writes an epoch's power series and summary to the tsdb, tagged by
+// trial, mirroring the InfluxDB layout of §6.
+func (r *Runner) record(trialSeed uint64, w workload.Workload, s EpochStats, series []float64) {
+	if r.DB == nil {
+		return
+	}
+	tags := map[string]string{
+		"trial":    strconv.FormatUint(trialSeed, 10),
+		"workload": w.Name(),
+	}
+	start := s.EndTime - s.Duration
+	for i, watts := range series {
+		_ = r.DB.Write("power", tsdb.Point{
+			Time:   start + float64(i),
+			Tags:   tags,
+			Fields: map[string]float64{"watts": watts},
+		})
+	}
+	_ = r.DB.Write("epochs", tsdb.Point{
+		Time: s.EndTime,
+		Tags: tags,
+		Fields: map[string]float64{
+			"epoch":    float64(s.Epoch),
+			"duration": s.Duration,
+			"accuracy": s.Accuracy,
+			"energyJ":  s.EnergyJ,
+			"cores":    float64(s.Sys.Cores),
+			"memoryGB": float64(s.Sys.MemoryGB),
+		},
+	})
+}
+
+// Run executes one trial of w with hyperparameters h, starting from system
+// configuration sys. The observer (optional) can re-configure the system at
+// each epoch boundary. All randomness derives from seed.
+func (r *Runner) Run(w workload.Workload, h params.Hyper, sys params.SysConfig, seed uint64, obs EpochObserver) (*Result, error) {
+	if err := h.Validate(); err != nil {
+		return nil, fmt.Errorf("trainer: %w", err)
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, fmt.Errorf("trainer: %w", err)
+	}
+	if r.Sampler == nil {
+		return nil, errors.New("trainer: nil perf sampler")
+	}
+	load := r.Load
+	if load < 1 {
+		load = 1
+	}
+	tr := workload.TraitsFor(w)
+	cp, err := r.corpus(w)
+	if err != nil {
+		return nil, fmt.Errorf("trainer: %w", err)
+	}
+
+	rng := xrand.New(seed)
+	netRng := rng.Split()
+	shuffleRng := rng.Split()
+	perfRng := rng.Split()
+	powerRng := rng.Split()
+
+	net, err := nn.Build(w.Model, cp.train.Dim, cp.train.NumClasses, h, netRng)
+	if err != nil {
+		return nil, fmt.Errorf("trainer: %w", err)
+	}
+
+	res := &Result{Workload: w, Hyper: h, FinalSys: sys}
+	clock := 0.0
+
+	runPhase := func(epoch int, init bool, trainLoss, acc float64) (EpochStats, error) {
+		var duration float64
+		var computeFrac float64
+		if init {
+			duration = r.Cost.InitDuration(tr)
+			computeFrac = 0.3 // I/O-heavy
+		} else {
+			bd, err := r.Cost.EpochBreakdown(tr, h, sys)
+			if err != nil {
+				return EpochStats{}, err
+			}
+			duration, err = r.Cost.EpochDuration(tr, h, sys)
+			if err != nil {
+				return EpochStats{}, err
+			}
+			computeFrac = bd.ComputeFraction()
+		}
+		duration = costmodel.WithLoad(duration, load)
+		clock += duration
+
+		phase := perf.PhaseTrain
+		if init {
+			phase = perf.PhaseInit
+		}
+		profile, err := r.Sampler.EpochProfile(perfRng, tr, h, sys, phase, duration)
+		if err != nil {
+			return EpochStats{}, err
+		}
+		series, err := r.Power.Series(powerRng, sys, computeFrac, duration)
+		if err != nil {
+			return EpochStats{}, err
+		}
+		joules := energy.Integrate(series)
+
+		s := EpochStats{
+			Epoch:     epoch,
+			Init:      init,
+			Sys:       sys,
+			Duration:  duration,
+			EndTime:   clock,
+			TrainLoss: trainLoss,
+			Accuracy:  acc,
+			EnergyJ:   joules,
+			Profile:   profile,
+		}
+		r.record(seed, w, s, series)
+		return s, nil
+	}
+
+	// Init phase (Figure 2's "Init." column).
+	initStats, err := runPhase(0, true, 0, 0)
+	if err != nil {
+		return nil, fmt.Errorf("trainer: init phase: %w", err)
+	}
+	res.Epochs = append(res.Epochs, initStats)
+	res.EnergyJ += initStats.EnergyJ
+
+	for epoch := 1; epoch <= h.Epochs; epoch++ {
+		loss, err := net.TrainEpoch(cp.train, h.BatchSize, h.LearningRate, shuffleRng)
+		if err != nil {
+			return nil, fmt.Errorf("trainer: epoch %d: %w", epoch, err)
+		}
+		acc, _, err := net.Evaluate(cp.test)
+		if err != nil {
+			return nil, fmt.Errorf("trainer: epoch %d eval: %w", epoch, err)
+		}
+		s, err := runPhase(epoch, false, loss, acc)
+		if err != nil {
+			return nil, fmt.Errorf("trainer: epoch %d: %w", epoch, err)
+		}
+		res.Epochs = append(res.Epochs, s)
+		res.EnergyJ += s.EnergyJ
+		res.Accuracy = acc
+
+		if obs != nil {
+			if next := obs.OnEpochEnd(seed, w, h, s); next != nil {
+				if err := next.Validate(); err != nil {
+					return nil, fmt.Errorf("trainer: observer returned invalid config: %w", err)
+				}
+				sys = *next
+			}
+		}
+	}
+	res.FinalSys = sys
+	res.Duration = clock
+	return res, nil
+}
+
+// PredictDuration estimates a full trial duration without training — used
+// by schedulers that need service-time estimates (multi-tenancy traces).
+func (r *Runner) PredictDuration(w workload.Workload, h params.Hyper, sys params.SysConfig) (float64, error) {
+	d, err := r.Cost.TrialDuration(workload.TraitsFor(w), h, sys)
+	if err != nil {
+		return 0, err
+	}
+	load := r.Load
+	if load < 1 {
+		load = 1
+	}
+	return costmodel.WithLoad(d, load), nil
+}

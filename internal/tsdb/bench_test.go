@@ -1,0 +1,40 @@
+package tsdb
+
+import (
+	"strconv"
+	"testing"
+)
+
+func BenchmarkWrite(b *testing.B) {
+	db := New()
+	tags := map[string]string{"node": "n0", "trial": "7"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Write("power", Point{
+			Time:   float64(i),
+			Tags:   tags,
+			Fields: map[string]float64{"watts": 100},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMeanFieldOver10k(b *testing.B) {
+	db := New()
+	for i := 0; i < 10000; i++ {
+		if err := db.Write("power", Point{
+			Time:   float64(i),
+			Tags:   map[string]string{"trial": strconv.Itoa(i % 16)},
+			Fields: map[string]float64{"watts": float64(90 + i%20)},
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := db.MeanField("power", "watts", Query{From: 1000, To: 9000}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Package tsdb is the storage backend substrate: an in-memory time-series
+// database standing in for the InfluxDB 1.7 instance of §6. It stores
+// tagged, timestamped field sets per measurement, answers range/tag queries
+// and per-window aggregations (the harness queries per-epoch averages of
+// power and PMU metrics), and persists to JSON.
+//
+// The database is safe for concurrent use; trials write from worker
+// goroutines while the controller reads.
+package tsdb
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Point is one observation: a virtual timestamp (seconds), tag set and
+// field values — the InfluxDB data model.
+type Point struct {
+	Time   float64            `json:"time"`
+	Tags   map[string]string  `json:"tags,omitempty"`
+	Fields map[string]float64 `json:"fields"`
+}
+
+// Query selects points from one measurement. Zero values mean "no
+// constraint" except To, where a negative value means unbounded.
+type Query struct {
+	From float64           // inclusive lower time bound
+	To   float64           // inclusive upper time bound; negative = unbounded
+	Tags map[string]string // all listed tags must match exactly
+}
+
+// DB is the in-memory time-series store.
+type DB struct {
+	mu     sync.RWMutex
+	series map[string][]Point
+}
+
+// New returns an empty database.
+func New() *DB {
+	return &DB{series: make(map[string][]Point)}
+}
+
+// ErrNoPoints is returned by aggregations that matched nothing.
+var ErrNoPoints = errors.New("tsdb: no points matched")
+
+// Write appends one point to a measurement. Points must carry at least one
+// field; times may arrive out of order (queries sort on demand).
+func (db *DB) Write(measurement string, p Point) error {
+	if measurement == "" {
+		return errors.New("tsdb: empty measurement name")
+	}
+	if len(p.Fields) == 0 {
+		return fmt.Errorf("tsdb: point at t=%v has no fields", p.Time)
+	}
+	// Deep-copy maps so callers can reuse their buffers.
+	cp := Point{Time: p.Time, Fields: make(map[string]float64, len(p.Fields))}
+	for k, v := range p.Fields {
+		cp.Fields[k] = v
+	}
+	if len(p.Tags) > 0 {
+		cp.Tags = make(map[string]string, len(p.Tags))
+		for k, v := range p.Tags {
+			cp.Tags[k] = v
+		}
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.series[measurement] = append(db.series[measurement], cp)
+	return nil
+}
+
+// Measurements lists measurement names in sorted order.
+func (db *DB) Measurements() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.series))
+	for name := range db.series {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the point count of a measurement.
+func (db *DB) Len(measurement string) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.series[measurement])
+}
+
+func matches(p Point, q Query) bool {
+	if p.Time < q.From {
+		return false
+	}
+	if q.To >= 0 && p.Time > q.To {
+		return false
+	}
+	for k, v := range q.Tags {
+		if p.Tags[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Select returns the matching points of a measurement in time order.
+// The returned points are copies; mutating them does not affect the store.
+func (db *DB) Select(measurement string, q Query) []Point {
+	db.mu.RLock()
+	pts := db.series[measurement]
+	out := make([]Point, 0, len(pts))
+	for _, p := range pts {
+		if matches(p, q) {
+			cp := Point{Time: p.Time, Fields: make(map[string]float64, len(p.Fields))}
+			for k, v := range p.Fields {
+				cp.Fields[k] = v
+			}
+			if len(p.Tags) > 0 {
+				cp.Tags = make(map[string]string, len(p.Tags))
+				for k, v := range p.Tags {
+					cp.Tags[k] = v
+				}
+			}
+			out = append(out, cp)
+		}
+	}
+	db.mu.RUnlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}
+
+// MeanField averages one field over the matching points — the query the
+// profiler issues per epoch window (§5.3 stores per-epoch averages).
+func (db *DB) MeanField(measurement, field string, q Query) (float64, error) {
+	pts := db.Select(measurement, q)
+	sum, n := 0.0, 0
+	for _, p := range pts {
+		if v, ok := p.Fields[field]; ok {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0, ErrNoPoints
+	}
+	return sum / float64(n), nil
+}
+
+// FieldSeries extracts (time, value) pairs of one field in time order.
+func (db *DB) FieldSeries(measurement, field string, q Query) (times, values []float64) {
+	pts := db.Select(measurement, q)
+	for _, p := range pts {
+		if v, ok := p.Fields[field]; ok {
+			times = append(times, p.Time)
+			values = append(values, v)
+		}
+	}
+	return times, values
+}
+
+// snapshot is the JSON persistence format.
+type snapshot struct {
+	Series map[string][]Point `json:"series"`
+}
+
+// Save writes the full database as JSON.
+func (db *DB) Save(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	return enc.Encode(snapshot{Series: db.series})
+}
+
+// Load replaces the database contents with a previously saved snapshot.
+func (db *DB) Load(r io.Reader) error {
+	var snap snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("tsdb: load: %w", err)
+	}
+	if snap.Series == nil {
+		snap.Series = make(map[string][]Point)
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.series = snap.Series
+	return nil
+}

@@ -1,0 +1,231 @@
+package tsdb
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteAndSelect(t *testing.T) {
+	db := New()
+	for i := 0; i < 5; i++ {
+		err := db.Write("power", Point{
+			Time:   float64(i),
+			Tags:   map[string]string{"node": "n0"},
+			Fields: map[string]float64{"watts": 100 + float64(i)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	pts := db.Select("power", Query{From: 1, To: 3})
+	if len(pts) != 3 {
+		t.Fatalf("selected %d points, want 3", len(pts))
+	}
+	for i, p := range pts {
+		if p.Time != float64(i+1) {
+			t.Fatalf("point %d at t=%v, want %v", i, p.Time, float64(i+1))
+		}
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	db := New()
+	if err := db.Write("", Point{Fields: map[string]float64{"x": 1}}); err == nil {
+		t.Fatal("empty measurement accepted")
+	}
+	if err := db.Write("m", Point{}); err == nil {
+		t.Fatal("fieldless point accepted")
+	}
+}
+
+func TestTagFiltering(t *testing.T) {
+	db := New()
+	for _, node := range []string{"n0", "n1"} {
+		if err := db.Write("power", Point{
+			Time:   1,
+			Tags:   map[string]string{"node": node},
+			Fields: map[string]float64{"watts": 50},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pts := db.Select("power", Query{To: -1, Tags: map[string]string{"node": "n1"}})
+	if len(pts) != 1 || pts[0].Tags["node"] != "n1" {
+		t.Fatalf("tag filter returned %v", pts)
+	}
+	none := db.Select("power", Query{To: -1, Tags: map[string]string{"node": "nope"}})
+	if len(none) != 0 {
+		t.Fatalf("non-matching tag returned %d points", len(none))
+	}
+}
+
+func TestUnboundedTo(t *testing.T) {
+	db := New()
+	for i := 0; i < 3; i++ {
+		if err := db.Write("m", Point{Time: float64(i * 100), Fields: map[string]float64{"v": 1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(db.Select("m", Query{To: -1})); got != 3 {
+		t.Fatalf("unbounded query returned %d, want 3", got)
+	}
+	if got := len(db.Select("m", Query{To: 0})); got != 1 {
+		t.Fatalf("To=0 query returned %d, want 1", got)
+	}
+}
+
+func TestMeanField(t *testing.T) {
+	db := New()
+	for i, w := range []float64{90, 100, 110} {
+		if err := db.Write("power", Point{Time: float64(i), Fields: map[string]float64{"watts": w}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mean, err := db.MeanField("power", "watts", Query{To: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-100) > 1e-12 {
+		t.Fatalf("mean = %v, want 100", mean)
+	}
+	if _, err := db.MeanField("power", "absent", Query{To: -1}); err != ErrNoPoints {
+		t.Fatalf("missing field error = %v, want ErrNoPoints", err)
+	}
+	if _, err := db.MeanField("nope", "watts", Query{To: -1}); err != ErrNoPoints {
+		t.Fatalf("missing measurement error = %v, want ErrNoPoints", err)
+	}
+}
+
+func TestFieldSeriesOrdered(t *testing.T) {
+	db := New()
+	// Deliberately out of order.
+	for _, tv := range [][2]float64{{3, 30}, {1, 10}, {2, 20}} {
+		if err := db.Write("m", Point{Time: tv[0], Fields: map[string]float64{"v": tv[1]}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	times, values := db.FieldSeries("m", "v", Query{To: -1})
+	for i := 1; i < len(times); i++ {
+		if times[i] < times[i-1] {
+			t.Fatalf("times not sorted: %v", times)
+		}
+	}
+	if values[0] != 10 || values[2] != 30 {
+		t.Fatalf("values misordered: %v", values)
+	}
+}
+
+func TestPointsAreCopied(t *testing.T) {
+	db := New()
+	fields := map[string]float64{"v": 1}
+	if err := db.Write("m", Point{Time: 1, Fields: fields}); err != nil {
+		t.Fatal(err)
+	}
+	fields["v"] = 999 // caller reuses buffer
+	pts := db.Select("m", Query{To: -1})
+	if pts[0].Fields["v"] != 1 {
+		t.Fatal("store aliased the caller's field map")
+	}
+	pts[0].Fields["v"] = 777 // mutate the result
+	again := db.Select("m", Query{To: -1})
+	if again[0].Fields["v"] != 1 {
+		t.Fatal("query result aliased the store")
+	}
+}
+
+func TestMeasurementsSorted(t *testing.T) {
+	db := New()
+	for _, m := range []string{"zeta", "alpha", "mid"} {
+		if err := db.Write(m, Point{Fields: map[string]float64{"v": 1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := db.Measurements()
+	if len(got) != 3 || got[0] != "alpha" || got[2] != "zeta" {
+		t.Fatalf("Measurements = %v", got)
+	}
+	if db.Len("alpha") != 1 || db.Len("nope") != 0 {
+		t.Fatal("Len wrong")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db := New()
+	if err := db.Write("power", Point{
+		Time:   5,
+		Tags:   map[string]string{"node": "n2"},
+		Fields: map[string]float64{"watts": 123},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := New()
+	if err := restored.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	pts := restored.Select("power", Query{To: -1})
+	if len(pts) != 1 || pts[0].Fields["watts"] != 123 || pts[0].Tags["node"] != "n2" {
+		t.Fatalf("round trip lost data: %v", pts)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	db := New()
+	if err := db.Load(bytes.NewBufferString("{not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestConcurrentWritesAndReads(t *testing.T) {
+	db := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = db.Write("m", Point{
+					Time:   float64(g*100 + i),
+					Fields: map[string]float64{"v": float64(i)},
+				})
+				_, _ = db.MeanField("m", "v", Query{To: -1})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if db.Len("m") != 800 {
+		t.Fatalf("Len = %d, want 800", db.Len("m"))
+	}
+}
+
+// Property: MeanField over everything equals sum/count of written values.
+func TestQuickMeanMatches(t *testing.T) {
+	f := func(raw []float64) bool {
+		db := New()
+		sum, n := 0.0, 0
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e9 {
+				continue
+			}
+			if err := db.Write("m", Point{Time: float64(i), Fields: map[string]float64{"v": v}}); err != nil {
+				return false
+			}
+			sum += v
+			n++
+		}
+		mean, err := db.MeanField("m", "v", Query{To: -1})
+		if n == 0 {
+			return err == ErrNoPoints
+		}
+		return err == nil && math.Abs(mean-sum/float64(n)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

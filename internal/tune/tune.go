@@ -1,0 +1,471 @@
+// Package tune is the hyperparameter-tuning library substrate (the paper
+// builds on Ray Tune, §6): it runs HPT jobs — collections of training
+// trials proposed by a search algorithm — against the trainer, under a
+// user-chosen objective function.
+//
+// Two baseline modes reproduce §4 and §7.1.5:
+//
+//   - V1: hyperparameters only, objective = maximise accuracy; every trial
+//     runs with the same default system configuration.
+//   - V2: "system as hyperparameters" — the system space is concatenated
+//     into the search space and the objective becomes accuracy/duration.
+//
+// PipeTune plugs in through two extension points: a per-trial
+// trainer.EpochObserver factory (system tuning inside the trial) and a
+// trial-completion hook (feeding the ground-truth database).
+//
+// Trials execute concurrently on a bounded worker pool; all reported times
+// are simulated seconds derived from the cost model, so results are
+// deterministic regardless of goroutine interleaving.
+package tune
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"pipetune/internal/cluster"
+	"pipetune/internal/params"
+	"pipetune/internal/search"
+	"pipetune/internal/trainer"
+	"pipetune/internal/workload"
+	"pipetune/internal/xrand"
+)
+
+// Objective is the score a job maximises.
+type Objective int
+
+// Objectives from §5.1: maximum accuracy, or maximum accuracy with minimum
+// training time (expressed as the accuracy/duration ratio, §4).
+const (
+	MaximizeAccuracy Objective = iota + 1
+	MaximizeAccuracyPerTime
+)
+
+// String implements fmt.Stringer.
+func (o Objective) String() string {
+	switch o {
+	case MaximizeAccuracy:
+		return "accuracy"
+	case MaximizeAccuracyPerTime:
+		return "accuracy/time"
+	default:
+		return fmt.Sprintf("objective(%d)", int(o))
+	}
+}
+
+// Score evaluates a finished trial under the objective; higher is better.
+func (o Objective) Score(res *trainer.Result) float64 {
+	switch o {
+	case MaximizeAccuracyPerTime:
+		// Normalise by epoch count where known: HyperBand runs trials at
+		// different budgets, and a one-epoch trial must not beat a full
+		// trial merely by being short. The denominator is therefore the
+		// per-epoch duration (in kiloseconds, keeping scores O(accuracy)).
+		dur := res.Duration
+		if n := len(res.Epochs) - 1; n > 0 {
+			dur = res.Duration / float64(n)
+		}
+		if dur <= 0 {
+			return 0
+		}
+		return res.Accuracy / (dur / 1000)
+	default:
+		return res.Accuracy
+	}
+}
+
+// Mode selects the baseline behaviour.
+type Mode int
+
+// Modes.
+const (
+	ModeV1 Mode = iota + 1 // hyper only, fixed default system parameters
+	ModeV2                 // hyper + system parameters in one search space
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeV1:
+		return "tune-v1"
+	case ModeV2:
+		return "tune-v2"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// SearcherFactory builds the search algorithm for a job. The default
+// factory builds HyperBand, the paper's choice.
+type SearcherFactory func(space params.Space, r *xrand.Source) (search.Searcher, error)
+
+// DefaultSearcher returns the HyperBand factory used throughout the
+// evaluation (§6), with R=9 and eta=3.
+func DefaultSearcher() SearcherFactory {
+	return func(space params.Space, r *xrand.Source) (search.Searcher, error) {
+		return search.NewHyperBand(space, 9, 3, r)
+	}
+}
+
+// JobSpec describes one HPT job (Figure 6's "hyperparameter tuning input").
+type JobSpec struct {
+	Workload    workload.Workload
+	Mode        Mode
+	Objective   Objective
+	HyperSpace  params.Space
+	SystemSpace params.Space // consulted only in ModeV2
+	BaseHyper   params.Hyper
+	BaseSys     params.SysConfig
+	Seed        uint64
+	// MaxParallel bounds concurrent trials; 0 derives it from the cluster
+	// capacity under BaseSys.
+	MaxParallel int
+	Searcher    SearcherFactory
+
+	// TrialObserver, when set, supplies a per-trial epoch observer (this
+	// is PipeTune's hook; nil for the baselines).
+	TrialObserver func(trialID int) trainer.EpochObserver
+	// OnTrialDone, when set, is called after each trial completes, in
+	// trial-ID order within a batch (PipeTune's ground-truth feeder).
+	OnTrialDone func(trialID int, res *trainer.Result)
+}
+
+// TrialRecord is one evaluated trial.
+type TrialRecord struct {
+	ID         int               `json:"id"`
+	Assignment params.Assignment `json:"assignment"`
+	Hyper      params.Hyper      `json:"hyper"`
+	StartSys   params.SysConfig  `json:"startSys"`
+	BudgetFrac float64           `json:"budgetFrac"`
+	Result     *trainer.Result   `json:"result"`
+	Score      float64           `json:"score"`
+	// Start/End are simulated wall-clock seconds within the tuning job.
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+}
+
+// ProgressPoint supports the convergence plots (Figures 9 and 10): the
+// state of the search when a trial completes.
+type ProgressPoint struct {
+	Time          float64 `json:"time"`          // simulated wall clock
+	BestAccuracy  float64 `json:"bestAccuracy"`  // best accuracy so far
+	TrialDuration float64 `json:"trialDuration"` // duration of the finishing trial
+}
+
+// JobResult is a finished HPT job (Figure 6's output: trained model +
+// optimal parameters).
+type JobResult struct {
+	Spec        JobSpec         `json:"-"`
+	Trials      []TrialRecord   `json:"trials"`
+	Best        *TrialRecord    `json:"best"`
+	TuningTime  float64         `json:"tuningTime"`  // simulated makespan
+	TotalEnergy float64         `json:"totalEnergy"` // joules across all trials
+	Progress    []ProgressPoint `json:"progress"`
+}
+
+// Runner executes HPT jobs.
+type Runner struct {
+	Trainer *trainer.Runner
+	Cluster *cluster.Cluster
+	// Workers bounds the real goroutine pool (not the simulated slots);
+	// 0 means one worker per simulated slot.
+	Workers int
+}
+
+// NewRunner wires a runner to a trainer and cluster.
+func NewRunner(t *trainer.Runner, c *cluster.Cluster) *Runner {
+	return &Runner{Trainer: t, Cluster: c}
+}
+
+// budgetIterations maps a space-size growth ratio to HyperBand bracket
+// iterations: sqrt scaling, clamped to [1, 4].
+func budgetIterations(ratio int) int {
+	if ratio <= 1 {
+		return 1
+	}
+	it := int(math.Sqrt(float64(ratio)) + 0.5)
+	if it < 1 {
+		it = 1
+	}
+	if it > 4 {
+		it = 4
+	}
+	return it
+}
+
+// slotCount derives the simulated parallelism: how many BaseSys-sized
+// trials the cluster fits, bounded by spec.MaxParallel.
+func (r *Runner) slotCount(spec JobSpec) (int, error) {
+	if !r.Cluster.Fits(spec.BaseSys) {
+		return 0, fmt.Errorf("tune: base config %v does not fit any node", spec.BaseSys)
+	}
+	// Count allocations until the cluster is full, then release.
+	var allocs []*cluster.Alloc
+	for {
+		a, err := r.Cluster.Allocate(spec.BaseSys)
+		if err != nil {
+			break
+		}
+		allocs = append(allocs, a)
+	}
+	slots := len(allocs)
+	for _, a := range allocs {
+		if err := a.Release(); err != nil {
+			return 0, err
+		}
+	}
+	if spec.MaxParallel > 0 && spec.MaxParallel < slots {
+		slots = spec.MaxParallel
+	}
+	if slots < 1 {
+		slots = 1
+	}
+	return slots, nil
+}
+
+// RunJob executes the HPT job to completion.
+func (r *Runner) RunJob(spec JobSpec) (*JobResult, error) {
+	if r.Trainer == nil || r.Cluster == nil {
+		return nil, errors.New("tune: runner not wired")
+	}
+	if spec.Mode != ModeV1 && spec.Mode != ModeV2 {
+		return nil, fmt.Errorf("tune: invalid mode %v", spec.Mode)
+	}
+	if spec.Objective != MaximizeAccuracy && spec.Objective != MaximizeAccuracyPerTime {
+		return nil, fmt.Errorf("tune: invalid objective %v", spec.Objective)
+	}
+	if err := spec.BaseHyper.Validate(); err != nil {
+		return nil, fmt.Errorf("tune: %w", err)
+	}
+	if err := spec.BaseSys.Validate(); err != nil {
+		return nil, fmt.Errorf("tune: %w", err)
+	}
+	space := spec.HyperSpace
+	if spec.Mode == ModeV2 {
+		space = params.Concat(spec.HyperSpace, spec.SystemSpace)
+	}
+	if err := space.Validate(); err != nil {
+		return nil, fmt.Errorf("tune: %w", err)
+	}
+	factory := spec.Searcher
+	if factory == nil {
+		// The default sample budget tracks the search space: folding the
+		// system parameters into the search (V2) multiplies the space by
+		// the system grid's size, so the HyperBand bracket structure is
+		// repeated ~sqrt(ratio) times to keep per-dimension coverage
+		// comparable — the mechanism behind the paper's observation that
+		// V2 lengthens tuning (§7.3 reason 1).
+		iterations := 1
+		if spec.Mode == ModeV2 {
+			iterations = budgetIterations(spec.SystemSpace.Size())
+		}
+		factory = func(space params.Space, r *xrand.Source) (search.Searcher, error) {
+			return search.NewHyperBandIterations(space, 9, 3, iterations, r)
+		}
+	}
+	rng := xrand.New(spec.Seed)
+	searcher, err := factory(space, rng.Split())
+	if err != nil {
+		return nil, fmt.Errorf("tune: build searcher: %w", err)
+	}
+	slots, err := r.slotCount(spec)
+	if err != nil {
+		return nil, err
+	}
+	workers := r.Workers
+	if workers <= 0 {
+		workers = slots
+	}
+
+	res := &JobResult{Spec: spec}
+	clock := 0.0 // simulated wall clock; batches are barrier-synchronised
+
+	for {
+		batch := searcher.Next()
+		if len(batch) == 0 {
+			break
+		}
+		records, err := r.runBatch(spec, batch, workers)
+		if err != nil {
+			return nil, err
+		}
+		// Simulated resource-aware scheduling of the batch: trials claim
+		// their actual footprint (V2's oversized trials therefore reduce
+		// effective parallelism, one of the reasons its tuning time grows,
+		// §7.3), bounded additionally by the MaxParallel slot count.
+		end, err := r.scheduleBatch(records, clock, slots)
+		if err != nil {
+			return nil, err
+		}
+		clock = end
+		reports := make([]search.Report, 0, len(records))
+		for i := range records {
+			reports = append(reports, search.Report{ID: records[i].ID, Score: records[i].Score})
+		}
+		searcher.Observe(reports)
+
+		// Fold into the job result, maintaining the progress curve in
+		// completion-time order.
+		res.Trials = append(res.Trials, records...)
+		for i := range records {
+			rec := &records[i]
+			res.TotalEnergy += rec.Result.EnergyJ
+			if spec.OnTrialDone != nil {
+				spec.OnTrialDone(rec.ID, rec.Result)
+			}
+			if res.Best == nil || rec.Score > res.Best.Score {
+				cp := *rec
+				res.Best = &cp
+			}
+		}
+	}
+	if res.Best == nil {
+		return nil, errors.New("tune: searcher proposed no trials")
+	}
+	res.TuningTime = clock
+
+	// Progress curve: trials sorted by simulated completion time.
+	done := make([]TrialRecord, len(res.Trials))
+	copy(done, res.Trials)
+	sort.SliceStable(done, func(i, j int) bool { return done[i].End < done[j].End })
+	bestAcc := 0.0
+	for _, rec := range done {
+		if rec.Result.Accuracy > bestAcc {
+			bestAcc = rec.Result.Accuracy
+		}
+		res.Progress = append(res.Progress, ProgressPoint{
+			Time:          rec.End,
+			BestAccuracy:  bestAcc,
+			TrialDuration: rec.Result.Duration,
+		})
+	}
+	return res, nil
+}
+
+// scheduleBatch assigns simulated start/end times to the batch's records
+// in ID order against a scratch copy of the cluster: each trial waits until
+// its own system footprint fits (FIFO within the batch), with at most
+// `slots` trials in flight. It returns the batch makespan end time.
+func (r *Runner) scheduleBatch(records []TrialRecord, clock float64, slots int) (float64, error) {
+	scratch := r.Cluster.Clone()
+	type running struct {
+		end   float64
+		alloc *cluster.Alloc
+	}
+	var inFlight []running
+	now := clock
+	finishEarliest := func() error {
+		// Pop the earliest-finishing trial and free its resources.
+		idx := 0
+		for i := 1; i < len(inFlight); i++ {
+			if inFlight[i].end < inFlight[idx].end {
+				idx = i
+			}
+		}
+		if inFlight[idx].end > now {
+			now = inFlight[idx].end
+		}
+		if err := inFlight[idx].alloc.Release(); err != nil {
+			return err
+		}
+		inFlight = append(inFlight[:idx], inFlight[idx+1:]...)
+		return nil
+	}
+	for i := range records {
+		rec := &records[i]
+		for {
+			if len(inFlight) < slots {
+				alloc, err := scratch.Allocate(rec.StartSys)
+				if err == nil {
+					rec.Start = now
+					rec.End = now + rec.Result.Duration
+					inFlight = append(inFlight, running{end: rec.End, alloc: alloc})
+					break
+				}
+				if !errors.Is(err, cluster.ErrInsufficient) {
+					return 0, err
+				}
+			}
+			if len(inFlight) == 0 {
+				return 0, fmt.Errorf("tune: trial %d config %v cannot ever fit", rec.ID, rec.StartSys)
+			}
+			if err := finishEarliest(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	end := now
+	for _, f := range inFlight {
+		if f.end > end {
+			end = f.end
+		}
+	}
+	return end, nil
+}
+
+// runBatch executes one searcher batch on the worker pool and returns the
+// records in suggestion order (deterministic).
+func (r *Runner) runBatch(spec JobSpec, batch []search.Suggestion, workers int) ([]TrialRecord, error) {
+	records := make([]TrialRecord, len(batch))
+	errs := make([]error, len(batch))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, sug := range batch {
+		i, sug := i, sug
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			records[i], errs[i] = r.runTrial(spec, sug)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return records, nil
+}
+
+// runTrial executes one suggestion.
+func (r *Runner) runTrial(spec JobSpec, sug search.Suggestion) (TrialRecord, error) {
+	h := sug.Assignment.ApplyHyper(spec.BaseHyper)
+	// HyperBand rungs scale the epoch budget.
+	if sug.BudgetFrac > 0 && sug.BudgetFrac < 1 {
+		scaled := int(float64(h.Epochs)*sug.BudgetFrac + 0.5)
+		if scaled < 1 {
+			scaled = 1
+		}
+		h.Epochs = scaled
+	}
+	sys := spec.BaseSys
+	if spec.Mode == ModeV2 {
+		sys = sug.Assignment.ApplySys(spec.BaseSys)
+		if !r.Cluster.Fits(sys) {
+			return TrialRecord{}, fmt.Errorf("tune: trial config %v does not fit the cluster", sys)
+		}
+	}
+	var obs trainer.EpochObserver
+	if spec.TrialObserver != nil {
+		obs = spec.TrialObserver(sug.ID)
+	}
+	trialSeed := spec.Seed ^ (uint64(sug.ID)+1)*0x9e3779b97f4a7c15
+	result, err := r.Trainer.Run(spec.Workload, h, sys, trialSeed, obs)
+	if err != nil {
+		return TrialRecord{}, fmt.Errorf("tune: trial %d: %w", sug.ID, err)
+	}
+	return TrialRecord{
+		ID:         sug.ID,
+		Assignment: sug.Assignment.Clone(),
+		Hyper:      h,
+		StartSys:   sys,
+		BudgetFrac: sug.BudgetFrac,
+		Result:     result,
+		Score:      spec.Objective.Score(result),
+	}, nil
+}

@@ -1,0 +1,286 @@
+package tune
+
+import (
+	"sort"
+	"testing"
+
+	"pipetune/internal/cluster"
+	"pipetune/internal/dataset"
+	"pipetune/internal/params"
+	"pipetune/internal/search"
+	"pipetune/internal/trainer"
+	"pipetune/internal/workload"
+	"pipetune/internal/xrand"
+)
+
+var lenetMNIST = workload.Workload{Model: workload.LeNet5, Dataset: workload.MNIST}
+
+// smallSpace keeps test jobs fast: 2 dimensions, 4 points.
+func smallSpace() params.Space {
+	return params.Space{
+		{Name: params.KeyBatchSize, Values: []float64{32, 256}},
+		{Name: params.KeyLearningRate, Values: []float64{0.01, 0.05}},
+	}
+}
+
+func testRunner() *Runner {
+	tr := trainer.NewRunner()
+	tr.Data = dataset.Config{TrainSize: 256, TestSize: 96}
+	return NewRunner(tr, cluster.Paper())
+}
+
+func baseSpec(mode Mode, obj Objective) JobSpec {
+	h := params.DefaultHyper()
+	h.Epochs = 2
+	return JobSpec{
+		Workload:    lenetMNIST,
+		Mode:        mode,
+		Objective:   obj,
+		HyperSpace:  smallSpace(),
+		SystemSpace: params.Space{{Name: params.KeyCores, Values: []float64{4, 8}}},
+		BaseHyper:   h,
+		BaseSys:     params.DefaultSysConfig(),
+		Seed:        42,
+		Searcher: func(space params.Space, r *xrand.Source) (search.Searcher, error) {
+			return search.NewGrid(space, 0, 0)
+		},
+	}
+}
+
+func TestRunJobV1GridCoversSpace(t *testing.T) {
+	r := testRunner()
+	spec := baseSpec(ModeV1, MaximizeAccuracy)
+	res, err := r.RunJob(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trials) != 4 {
+		t.Fatalf("ran %d trials, want 4", len(res.Trials))
+	}
+	if res.Best == nil || res.Best.Result == nil {
+		t.Fatal("no best trial")
+	}
+	// V1 fixes the system configuration.
+	for _, rec := range res.Trials {
+		if rec.StartSys != spec.BaseSys {
+			t.Fatalf("V1 trial ran at %v, want base %v", rec.StartSys, spec.BaseSys)
+		}
+	}
+	if res.TuningTime <= 0 {
+		t.Fatal("no tuning time")
+	}
+	if res.TotalEnergy <= 0 {
+		t.Fatal("no energy")
+	}
+}
+
+func TestRunJobV2VariesSystem(t *testing.T) {
+	r := testRunner()
+	spec := baseSpec(ModeV2, MaximizeAccuracyPerTime)
+	res, err := r.RunJob(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trials) != 8 { // 4 hyper points x 2 core values
+		t.Fatalf("ran %d trials, want 8", len(res.Trials))
+	}
+	seenCores := make(map[int]bool)
+	for _, rec := range res.Trials {
+		seenCores[rec.StartSys.Cores] = true
+	}
+	if !seenCores[4] || !seenCores[8] {
+		t.Fatalf("V2 did not vary cores: %v", seenCores)
+	}
+}
+
+func TestBestMaximisesObjective(t *testing.T) {
+	r := testRunner()
+	res, err := r.RunJob(baseSpec(ModeV1, MaximizeAccuracy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range res.Trials {
+		if rec.Score > res.Best.Score {
+			t.Fatalf("trial %d score %v beats best %v", rec.ID, rec.Score, res.Best.Score)
+		}
+	}
+}
+
+func TestObjectiveScores(t *testing.T) {
+	fast := &trainer.Result{Accuracy: 0.8, Duration: 100}
+	slow := &trainer.Result{Accuracy: 0.9, Duration: 10000}
+	if MaximizeAccuracy.Score(slow) <= MaximizeAccuracy.Score(fast) {
+		t.Fatal("accuracy objective must prefer higher accuracy")
+	}
+	if MaximizeAccuracyPerTime.Score(fast) <= MaximizeAccuracyPerTime.Score(slow) {
+		t.Fatal("accuracy/time objective must prefer the much faster trial")
+	}
+	if MaximizeAccuracyPerTime.Score(&trainer.Result{Accuracy: 1, Duration: 0}) != 0 {
+		t.Fatal("zero duration must score 0, not Inf")
+	}
+}
+
+func TestProgressCurveMonotone(t *testing.T) {
+	r := testRunner()
+	res, err := r.RunJob(baseSpec(ModeV1, MaximizeAccuracy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Progress) != len(res.Trials) {
+		t.Fatalf("progress has %d points, want %d", len(res.Progress), len(res.Trials))
+	}
+	for i := 1; i < len(res.Progress); i++ {
+		if res.Progress[i].Time < res.Progress[i-1].Time {
+			t.Fatal("progress times not sorted")
+		}
+		if res.Progress[i].BestAccuracy < res.Progress[i-1].BestAccuracy {
+			t.Fatal("best-accuracy curve decreased")
+		}
+	}
+}
+
+func TestMakespanRespectsParallelism(t *testing.T) {
+	r := testRunner()
+	serial := baseSpec(ModeV1, MaximizeAccuracy)
+	serial.MaxParallel = 1
+	sres, err := r.RunJob(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel := baseSpec(ModeV1, MaximizeAccuracy)
+	parallel.MaxParallel = 4
+	pres, err := r.RunJob(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pres.TuningTime >= sres.TuningTime {
+		t.Fatalf("parallel tuning %v not faster than serial %v", pres.TuningTime, sres.TuningTime)
+	}
+	// Serial makespan must equal the sum of trial durations.
+	sum := 0.0
+	for _, rec := range sres.Trials {
+		sum += rec.Result.Duration
+	}
+	if diff := sres.TuningTime - sum; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("serial makespan %v != trial-duration sum %v", sres.TuningTime, sum)
+	}
+}
+
+func TestTrialObserverHookInvoked(t *testing.T) {
+	r := testRunner()
+	spec := baseSpec(ModeV1, MaximizeAccuracy)
+	target := params.SysConfig{Cores: 16, MemoryGB: 32}
+	spec.TrialObserver = func(trialID int) trainer.EpochObserver {
+		return trainer.ObserverFunc(func(_ uint64, _ workload.Workload, _ params.Hyper, s trainer.EpochStats) *params.SysConfig {
+			if s.Epoch == 1 {
+				cfg := target
+				return &cfg
+			}
+			return nil
+		})
+	}
+	res, err := r.RunJob(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range res.Trials {
+		if rec.Result.FinalSys != target {
+			t.Fatalf("observer did not retune trial %d: %v", rec.ID, rec.Result.FinalSys)
+		}
+	}
+}
+
+func TestOnTrialDoneOrdered(t *testing.T) {
+	r := testRunner()
+	spec := baseSpec(ModeV1, MaximizeAccuracy)
+	var ids []int
+	spec.OnTrialDone = func(trialID int, _ *trainer.Result) {
+		ids = append(ids, trialID)
+	}
+	if _, err := r.RunJob(spec); err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 4 {
+		t.Fatalf("OnTrialDone called %d times, want 4", len(ids))
+	}
+	if !sort.IntsAreSorted(ids) {
+		t.Fatalf("OnTrialDone out of order: %v", ids)
+	}
+}
+
+func TestRunJobDeterministic(t *testing.T) {
+	run := func() *JobResult {
+		res, err := testRunner().RunJob(baseSpec(ModeV1, MaximizeAccuracy))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.TuningTime != b.TuningTime || a.Best.Score != b.Best.Score || a.TotalEnergy != b.TotalEnergy {
+		t.Fatalf("same seed diverged: %v/%v vs %v/%v", a.TuningTime, a.Best.Score, b.TuningTime, b.Best.Score)
+	}
+}
+
+func TestHyperBandBudgetScalesEpochs(t *testing.T) {
+	r := testRunner()
+	spec := baseSpec(ModeV1, MaximizeAccuracy)
+	spec.BaseHyper.Epochs = 9
+	spec.Searcher = func(space params.Space, rng *xrand.Source) (search.Searcher, error) {
+		return search.NewHyperBand(space, 9, 3, rng)
+	}
+	res, err := r.RunJob(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawShort, sawFull := false, false
+	for _, rec := range res.Trials {
+		epochs := len(rec.Result.Epochs) - 1 // minus init
+		if rec.BudgetFrac < 1 && epochs < 9 {
+			sawShort = true
+		}
+		if rec.BudgetFrac == 1 && epochs == 9 {
+			sawFull = true
+		}
+	}
+	if !sawShort || !sawFull {
+		t.Fatalf("hyperband budgets not applied: short=%v full=%v", sawShort, sawFull)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	r := testRunner()
+	bad := baseSpec(Mode(0), MaximizeAccuracy)
+	if _, err := r.RunJob(bad); err == nil {
+		t.Fatal("invalid mode accepted")
+	}
+	bad = baseSpec(ModeV1, Objective(0))
+	if _, err := r.RunJob(bad); err == nil {
+		t.Fatal("invalid objective accepted")
+	}
+	bad = baseSpec(ModeV1, MaximizeAccuracy)
+	bad.BaseSys = params.SysConfig{Cores: 64, MemoryGB: 256}
+	if _, err := r.RunJob(bad); err == nil {
+		t.Fatal("unfittable base config accepted")
+	}
+	bad = baseSpec(ModeV1, MaximizeAccuracy)
+	bad.BaseHyper.BatchSize = 0
+	if _, err := r.RunJob(bad); err == nil {
+		t.Fatal("invalid base hyper accepted")
+	}
+	empty := baseSpec(ModeV1, MaximizeAccuracy)
+	empty.HyperSpace = params.Space{{Name: "x", Values: nil}}
+	if _, err := r.RunJob(empty); err == nil {
+		t.Fatal("invalid space accepted")
+	}
+}
+
+func TestV2RejectsUnfittableTrialConfig(t *testing.T) {
+	r := NewRunner(testRunner().Trainer, cluster.SingleNode()) // 8 cores max
+	spec := baseSpec(ModeV2, MaximizeAccuracyPerTime)
+	spec.SystemSpace = params.Space{{Name: params.KeyCores, Values: []float64{16}}}
+	spec.BaseSys = params.SysConfig{Cores: 4, MemoryGB: 8}
+	if _, err := r.RunJob(spec); err == nil {
+		t.Fatal("16-core trial on an 8-core node accepted")
+	}
+}

@@ -1,0 +1,279 @@
+// Package workload catalogues the seven evaluation workloads of Table 3 and
+// the traits the simulators derive behaviour from.
+//
+// A workload is the paper's central abstraction: a (model, dataset) tuple.
+// Jobs that share a model are Type-I (e.g. recommendation engines retrained
+// per tenant dataset); jobs that share a dataset are Type-II (e.g. computer
+// vision model search); the Rodinia computational-sprinting workloads are
+// Type-III (short epochs, single node).
+package workload
+
+import "fmt"
+
+// Model identifies a neural-network architecture (or Rodinia kernel).
+type Model int
+
+// Models from Table 3.
+const (
+	LeNet5 Model = iota + 1
+	CNN
+	LSTM
+	Jacobi
+	SPKMeans
+	BFS
+)
+
+// String returns the lowercase name used in figures and logs.
+func (m Model) String() string {
+	switch m {
+	case LeNet5:
+		return "lenet"
+	case CNN:
+		return "cnn"
+	case LSTM:
+		return "lstm"
+	case Jacobi:
+		return "jacobi"
+	case SPKMeans:
+		return "spkmeans"
+	case BFS:
+		return "bfs"
+	default:
+		return fmt.Sprintf("model(%d)", int(m))
+	}
+}
+
+// Dataset identifies an input corpus.
+type Dataset int
+
+// Datasets from Table 3.
+const (
+	MNIST Dataset = iota + 1
+	FashionMNIST
+	News20
+	Rodinia
+)
+
+// String returns the lowercase name used in figures and logs.
+func (d Dataset) String() string {
+	switch d {
+	case MNIST:
+		return "mnist"
+	case FashionMNIST:
+		return "fashion"
+	case News20:
+		return "news20"
+	case Rodinia:
+		return "rodinia"
+	default:
+		return fmt.Sprintf("dataset(%d)", int(d))
+	}
+}
+
+// Type is the paper's workload taxonomy (§5.1, Table 3).
+type Type int
+
+// Workload types.
+const (
+	TypeI   Type = iota + 1 // same model, different datasets
+	TypeII                  // different models, same dataset
+	TypeIII                 // Rodinia computational-sprinting kernels
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case TypeI:
+		return "Type-I"
+	case TypeII:
+		return "Type-II"
+	case TypeIII:
+		return "Type-III"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// Workload pairs a model with a dataset.
+type Workload struct {
+	Model   Model   `json:"model"`
+	Dataset Dataset `json:"dataset"`
+}
+
+// Name returns the "model/dataset" label used across the evaluation.
+func (w Workload) Name() string {
+	return w.Model.String() + "/" + w.Dataset.String()
+}
+
+// Type classifies the workload per Table 3.
+func (w Workload) Type() Type {
+	switch w.Dataset {
+	case Rodinia:
+		return TypeIII
+	case News20:
+		return TypeII
+	default:
+		return TypeI
+	}
+}
+
+// Traits are the static characteristics the cost model, the PMU simulator
+// and the dataset synthesiser derive behaviour from. They play the role of
+// the real workload's footprint on the hardware.
+type Traits struct {
+	// Table 3 columns.
+	DatasizeMB int `json:"datasizeMB"`
+	TrainFiles int `json:"trainFiles"`
+	TestFiles  int `json:"testFiles"`
+
+	// FLOPsPerSample is the relative compute cost of one forward+backward
+	// pass on one sample (arbitrary units; LeNet5 = 1.0 reference).
+	FLOPsPerSample float64 `json:"flopsPerSample"`
+
+	// ParamCount is the number of model parameters in thousands; it scales
+	// the synchronous-SGD gradient-synchronisation cost.
+	ParamCountK float64 `json:"paramCountK"`
+
+	// WorkingSetGB is the memory the trial needs before spilling.
+	WorkingSetGB float64 `json:"workingSetGB"`
+
+	// Intensity knobs in [0,1] shaping the synthetic PMU profile: how much
+	// of the workload's cycle budget is compute vs memory vs branching.
+	ComputeIntensity float64 `json:"computeIntensity"`
+	MemoryIntensity  float64 `json:"memoryIntensity"`
+	BranchIntensity  float64 `json:"branchIntensity"`
+
+	// EmbedSensitivity in [0,1] is how strongly the embedding-dimension
+	// hyperparameter scales this model's per-sample work (text models only;
+	// §7.1.3 item 3).
+	EmbedSensitivity float64 `json:"embedSensitivity"`
+
+	// EpochSeconds is the calibration anchor: the simulated duration of one
+	// epoch at the default system configuration and default batch size.
+	// Type-I/II epochs "last minutes" (§7.1); Type-III epochs are short.
+	EpochSeconds float64 `json:"epochSeconds"`
+}
+
+// TraitsFor returns the traits of w. Values are calibrated so that the
+// evaluation's qualitative relationships hold: Type-II text models are
+// heavier per sample than LeNet, LSTM is the heaviest, and Type-III kernels
+// have short epochs (Figure 12 discussion).
+func TraitsFor(w Workload) Traits {
+	t := Traits{}
+	switch w.Model {
+	case LeNet5:
+		t.FLOPsPerSample = 1.0
+		t.ParamCountK = 60 // classic LeNet-5 ~60k params
+		t.ComputeIntensity = 0.65
+		t.MemoryIntensity = 0.35
+		t.BranchIntensity = 0.20
+	case CNN:
+		t.FLOPsPerSample = 2.2
+		t.ParamCountK = 320
+		t.ComputeIntensity = 0.75
+		t.MemoryIntensity = 0.45
+		t.BranchIntensity = 0.25
+		t.EmbedSensitivity = 0.5
+	case LSTM:
+		t.FLOPsPerSample = 3.6
+		t.ParamCountK = 480
+		t.ComputeIntensity = 0.70
+		t.MemoryIntensity = 0.60
+		t.BranchIntensity = 0.40
+		t.EmbedSensitivity = 0.7
+	case Jacobi:
+		t.FLOPsPerSample = 0.8
+		t.ParamCountK = 4
+		t.ComputeIntensity = 0.80
+		t.MemoryIntensity = 0.70
+		t.BranchIntensity = 0.10
+	case SPKMeans:
+		t.FLOPsPerSample = 0.6
+		t.ParamCountK = 8
+		t.ComputeIntensity = 0.60
+		t.MemoryIntensity = 0.55
+		t.BranchIntensity = 0.30
+	case BFS:
+		t.FLOPsPerSample = 0.4
+		t.ParamCountK = 2
+		t.ComputeIntensity = 0.35
+		t.MemoryIntensity = 0.80
+		t.BranchIntensity = 0.70
+	}
+	// The dataset shifts the hardware footprint: dense image tensors are
+	// compute-friendly, sparse bag-of-words text is branchy and
+	// memory-bound. These offsets are what make workload families
+	// separable in profile space (Figure 8).
+	switch w.Dataset {
+	case MNIST:
+		t.DatasizeMB, t.TrainFiles, t.TestFiles = 12, 60000, 10000
+		t.WorkingSetGB = 6
+		t.ComputeIntensity += 0.05
+	case FashionMNIST:
+		t.DatasizeMB, t.TrainFiles, t.TestFiles = 31, 60000, 10000
+		t.WorkingSetGB = 7
+		t.ComputeIntensity += 0.03
+		t.MemoryIntensity += 0.02
+	case News20:
+		t.DatasizeMB, t.TrainFiles, t.TestFiles = 15, 11307, 7538
+		t.WorkingSetGB = 10
+		t.ComputeIntensity -= 0.10
+		t.MemoryIntensity += 0.20
+		t.BranchIntensity += 0.25
+	case Rodinia:
+		t.DatasizeMB, t.TrainFiles, t.TestFiles = 26, 1650, 7538
+		t.WorkingSetGB = 4
+	}
+	clamp01 := func(v *float64) {
+		if *v < 0 {
+			*v = 0
+		}
+		if *v > 1 {
+			*v = 1
+		}
+	}
+	clamp01(&t.ComputeIntensity)
+	clamp01(&t.MemoryIntensity)
+	clamp01(&t.BranchIntensity)
+	// Calibration anchor for epoch duration at the default configuration.
+	switch w.Type() {
+	case TypeIII:
+		t.EpochSeconds = 3 // "shorter epochs" (§7.3, Figure 12)
+	default:
+		// Scale with per-sample work and corpus size relative to
+		// LeNet/MNIST's ~180 s epochs on the evaluation cluster.
+		t.EpochSeconds = 180 * t.FLOPsPerSample * float64(t.TrainFiles) / 60000
+		if t.EpochSeconds < 60 {
+			t.EpochSeconds = 60
+		}
+	}
+	return t
+}
+
+// Catalog returns the seven Table 3 workloads in their table order.
+func Catalog() []Workload {
+	return []Workload{
+		{Model: LeNet5, Dataset: MNIST},
+		{Model: LeNet5, Dataset: FashionMNIST},
+		{Model: CNN, Dataset: News20},
+		{Model: LSTM, Dataset: News20},
+		{Model: Jacobi, Dataset: Rodinia},
+		{Model: SPKMeans, Dataset: Rodinia},
+		{Model: BFS, Dataset: Rodinia},
+	}
+}
+
+// OfType filters the catalog by workload type.
+func OfType(types ...Type) []Workload {
+	want := make(map[Type]bool, len(types))
+	for _, t := range types {
+		want[t] = true
+	}
+	var out []Workload
+	for _, w := range Catalog() {
+		if want[w.Type()] {
+			out = append(out, w)
+		}
+	}
+	return out
+}

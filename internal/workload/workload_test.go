@@ -1,0 +1,125 @@
+package workload
+
+import "testing"
+
+func TestCatalogMatchesTable3(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 7 {
+		t.Fatalf("catalog has %d workloads, Table 3 lists 7", len(cat))
+	}
+	wantNames := []string{
+		"lenet/mnist", "lenet/fashion", "cnn/news20", "lstm/news20",
+		"jacobi/rodinia", "spkmeans/rodinia", "bfs/rodinia",
+	}
+	for i, w := range cat {
+		if w.Name() != wantNames[i] {
+			t.Fatalf("catalog[%d] = %q, want %q", i, w.Name(), wantNames[i])
+		}
+	}
+}
+
+func TestTypeClassification(t *testing.T) {
+	cases := []struct {
+		w    Workload
+		want Type
+	}{
+		{Workload{LeNet5, MNIST}, TypeI},
+		{Workload{LeNet5, FashionMNIST}, TypeI},
+		{Workload{CNN, News20}, TypeII},
+		{Workload{LSTM, News20}, TypeII},
+		{Workload{Jacobi, Rodinia}, TypeIII},
+		{Workload{SPKMeans, Rodinia}, TypeIII},
+		{Workload{BFS, Rodinia}, TypeIII},
+	}
+	for _, tc := range cases {
+		if got := tc.w.Type(); got != tc.want {
+			t.Fatalf("%s type = %v, want %v", tc.w.Name(), got, tc.want)
+		}
+	}
+}
+
+func TestTraitsTable3Columns(t *testing.T) {
+	cases := []struct {
+		w                  Workload
+		sizeMB, train, tst int
+	}{
+		{Workload{LeNet5, MNIST}, 12, 60000, 10000},
+		{Workload{LeNet5, FashionMNIST}, 31, 60000, 10000},
+		{Workload{CNN, News20}, 15, 11307, 7538},
+		{Workload{LSTM, News20}, 15, 11307, 7538},
+		{Workload{Jacobi, Rodinia}, 26, 1650, 7538},
+	}
+	for _, tc := range cases {
+		tr := TraitsFor(tc.w)
+		if tr.DatasizeMB != tc.sizeMB || tr.TrainFiles != tc.train || tr.TestFiles != tc.tst {
+			t.Fatalf("%s traits = %d MB / %d train / %d test, want %d/%d/%d",
+				tc.w.Name(), tr.DatasizeMB, tr.TrainFiles, tr.TestFiles,
+				tc.sizeMB, tc.train, tc.tst)
+		}
+	}
+}
+
+func TestTraitsArePositiveAndBounded(t *testing.T) {
+	for _, w := range Catalog() {
+		tr := TraitsFor(w)
+		if tr.FLOPsPerSample <= 0 || tr.ParamCountK <= 0 || tr.WorkingSetGB <= 0 || tr.EpochSeconds <= 0 {
+			t.Fatalf("%s has non-positive traits: %+v", w.Name(), tr)
+		}
+		for _, in := range []float64{tr.ComputeIntensity, tr.MemoryIntensity, tr.BranchIntensity} {
+			if in < 0 || in > 1 {
+				t.Fatalf("%s intensity out of [0,1]: %+v", w.Name(), tr)
+			}
+		}
+	}
+}
+
+func TestTypeIIIEpochsAreShort(t *testing.T) {
+	for _, w := range OfType(TypeIII) {
+		tr := TraitsFor(w)
+		if tr.EpochSeconds >= 60 {
+			t.Fatalf("%s Type-III epoch = %v s, should be short", w.Name(), tr.EpochSeconds)
+		}
+	}
+	for _, w := range OfType(TypeI, TypeII) {
+		tr := TraitsFor(w)
+		if tr.EpochSeconds < 60 {
+			t.Fatalf("%s Type-I/II epoch = %v s, paper says minutes", w.Name(), tr.EpochSeconds)
+		}
+	}
+}
+
+func TestLSTMHeavierThanCNNHeavierThanLeNet(t *testing.T) {
+	lenet := TraitsFor(Workload{LeNet5, MNIST}).FLOPsPerSample
+	cnn := TraitsFor(Workload{CNN, News20}).FLOPsPerSample
+	lstm := TraitsFor(Workload{LSTM, News20}).FLOPsPerSample
+	if !(lenet < cnn && cnn < lstm) {
+		t.Fatalf("per-sample cost ordering violated: lenet=%v cnn=%v lstm=%v", lenet, cnn, lstm)
+	}
+}
+
+func TestOfTypeFilters(t *testing.T) {
+	if got := len(OfType(TypeI)); got != 2 {
+		t.Fatalf("Type-I count = %d, want 2", got)
+	}
+	if got := len(OfType(TypeII)); got != 2 {
+		t.Fatalf("Type-II count = %d, want 2", got)
+	}
+	if got := len(OfType(TypeIII)); got != 3 {
+		t.Fatalf("Type-III count = %d, want 3", got)
+	}
+	if got := len(OfType(TypeI, TypeII, TypeIII)); got != 7 {
+		t.Fatalf("all-types count = %d, want 7", got)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if LeNet5.String() != "lenet" || News20.String() != "news20" {
+		t.Fatal("model/dataset stringers broken")
+	}
+	if TypeI.String() != "Type-I" || TypeIII.String() != "Type-III" {
+		t.Fatal("type stringer broken")
+	}
+	if Model(99).String() == "" || Dataset(99).String() == "" || Type(99).String() == "" {
+		t.Fatal("unknown enum values must still produce a string")
+	}
+}

@@ -1,0 +1,283 @@
+// Package pipetune is a from-scratch Go implementation of PipeTune
+// ("PipeTune: Pipeline Parallelism of Hyper and System Parameters Tuning
+// for Deep Learning Clusters", Rocha et al., ACM/IFIP Middleware 2020).
+//
+// PipeTune is a middleware between a hyperparameter-tuning library and a
+// training framework: while the usual search explores hyperparameters
+// across trials, PipeTune tunes *system* parameters (cores, memory) inside
+// each trial at epoch granularity — profiling the first epoch with hardware
+// performance counters, consulting a k-means ground-truth database of
+// previously seen workloads, and probing configurations epoch-by-epoch on a
+// miss. See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured comparison.
+//
+// The facade wires the substrates together:
+//
+//	sys, err := pipetune.New(pipetune.WithSeed(42))
+//	spec := sys.JobSpec(pipetune.Workload{Model: pipetune.LeNet5, Dataset: pipetune.MNIST})
+//	res, err := sys.RunPipeTune(spec)
+//
+// Baselines (Tune V1/V2 of the paper's §4) run through the same facade via
+// RunBaseline. Everything is deterministic under a fixed seed and runs on
+// simulated time.
+package pipetune
+
+import (
+	"errors"
+	"io"
+
+	"pipetune/internal/cluster"
+	"pipetune/internal/core"
+	"pipetune/internal/dataset"
+	"pipetune/internal/params"
+	"pipetune/internal/trainer"
+	"pipetune/internal/tune"
+	"pipetune/internal/workload"
+)
+
+// Re-exported workload vocabulary (Table 3).
+type (
+	// Workload pairs a model with a dataset.
+	Workload = workload.Workload
+	// Model is a neural-network architecture (or Rodinia kernel).
+	Model = workload.Model
+	// Dataset is an input corpus.
+	Dataset = workload.Dataset
+	// WorkloadType is the paper's Type-I/II/III taxonomy.
+	WorkloadType = workload.Type
+)
+
+// Models.
+const (
+	LeNet5   = workload.LeNet5
+	CNN      = workload.CNN
+	LSTM     = workload.LSTM
+	Jacobi   = workload.Jacobi
+	SPKMeans = workload.SPKMeans
+	BFS      = workload.BFS
+)
+
+// Datasets.
+const (
+	MNIST        = workload.MNIST
+	FashionMNIST = workload.FashionMNIST
+	News20       = workload.News20
+	Rodinia      = workload.Rodinia
+)
+
+// Workload types.
+const (
+	TypeI   = workload.TypeI
+	TypeII  = workload.TypeII
+	TypeIII = workload.TypeIII
+)
+
+// Re-exported parameter types (§7.1.3, §7.1.4).
+type (
+	// Hyper is the hyperparameter tuple.
+	Hyper = params.Hyper
+	// SysConfig is the system-parameter tuple (cores, memory).
+	SysConfig = params.SysConfig
+	// Space is a discrete search space.
+	Space = params.Space
+	// Dimension is one tunable axis of a Space.
+	Dimension = params.Dimension
+	// Assignment maps dimension names to values.
+	Assignment = params.Assignment
+)
+
+// Re-exported tuning types.
+type (
+	// JobSpec describes one hyperparameter-tuning job.
+	JobSpec = tune.JobSpec
+	// JobResult is a finished job: best trial, all trials, tuning time,
+	// energy, progress curve.
+	JobResult = tune.JobResult
+	// TrialRecord is one evaluated trial.
+	TrialRecord = tune.TrialRecord
+	// Mode selects the baseline behaviour (V1/V2).
+	Mode = tune.Mode
+	// Objective is the score a job maximises.
+	Objective = tune.Objective
+)
+
+// Baseline modes (§4) and objectives (§5.1).
+const (
+	ModeV1                  = tune.ModeV1
+	ModeV2                  = tune.ModeV2
+	MaximizeAccuracy        = tune.MaximizeAccuracy
+	MaximizeAccuracyPerTime = tune.MaximizeAccuracyPerTime
+)
+
+// Catalog returns the seven Table 3 workloads.
+func Catalog() []Workload { return workload.Catalog() }
+
+// WorkloadsOfType filters the catalog.
+func WorkloadsOfType(types ...WorkloadType) []Workload { return workload.OfType(types...) }
+
+// DefaultHyper returns the §3 baseline hyperparameters.
+func DefaultHyper() Hyper { return params.DefaultHyper() }
+
+// DefaultSysConfig returns the fixed configuration V1 trials run with.
+func DefaultSysConfig() SysConfig { return params.DefaultSysConfig() }
+
+// PaperHyperSpace returns the paper's hyperparameter grid.
+func PaperHyperSpace() Space { return params.PaperHyperSpace() }
+
+// PaperSystemSpace returns the paper's system-parameter grid.
+func PaperSystemSpace() Space { return params.PaperSystemSpace() }
+
+// System is a fully wired PipeTune deployment: the training substrate, a
+// cluster, the baseline tuner and the PipeTune middleware with its
+// persistent ground-truth database.
+type System struct {
+	trainer  *trainer.Runner
+	cluster  *cluster.Cluster
+	tuner    *tune.Runner
+	pipetune *core.PipeTune
+	seed     uint64
+}
+
+// Option customises a System.
+type Option func(*System)
+
+// WithSeed fixes the master seed (default 1).
+func WithSeed(seed uint64) Option {
+	return func(s *System) { s.seed = seed }
+}
+
+// WithCluster replaces the default 4-node testbed cluster.
+func WithCluster(numNodes, coresPerNode, memGBPerNode int) Option {
+	return func(s *System) {
+		c, err := cluster.New(numNodes, cluster.NodeSpec{Cores: coresPerNode, MemoryGB: memGBPerNode})
+		if err == nil {
+			s.cluster = c
+		}
+	}
+}
+
+// WithSingleNode switches to the paper's single-node Type-III testbed.
+func WithSingleNode() Option {
+	return func(s *System) { s.cluster = cluster.SingleNode() }
+}
+
+// WithCorpusSize controls the synthetic corpus size (train/test samples).
+func WithCorpusSize(train, test int) Option {
+	return func(s *System) {
+		if train > 0 && test > 0 {
+			s.trainer.Data = dataset.Config{TrainSize: train, TestSize: test}
+		}
+	}
+}
+
+// WithLoad sets the contention multiplier (co-located jobs).
+func WithLoad(load float64) Option {
+	return func(s *System) { s.trainer.Load = load }
+}
+
+// WithProbes replaces the system-configuration probe grid (§5.6).
+func WithProbes(probes []SysConfig) Option {
+	return func(s *System) {
+		if len(probes) > 0 {
+			cp := make([]SysConfig, len(probes))
+			copy(cp, probes)
+			s.pipetune.Probes = cp
+		}
+	}
+}
+
+// WithEnergyObjective makes PipeTune's probing minimise energy instead of
+// epoch runtime.
+func WithEnergyObjective() Option {
+	return func(s *System) { s.pipetune.Optimize = core.MinimizeEnergy }
+}
+
+// WithNearestNeighborSimilarity swaps the ground truth's similarity
+// function from the paper's default k-means to per-profile nearest
+// neighbour (§5.4 notes the function is pluggable). threshold scales the
+// mean nearest-neighbour distance that bounds confident matches.
+func WithNearestNeighborSimilarity(threshold float64) Option {
+	return func(s *System) {
+		cfg := core.DefaultGroundTruthConfig()
+		cfg.Similarity = core.NewNearestNeighborSimilarity(threshold)
+		s.pipetune.GT = core.NewGroundTruth(cfg, s.seed)
+	}
+}
+
+// New builds a wired System.
+func New(opts ...Option) (*System, error) {
+	s := &System{
+		trainer: trainer.NewRunner(),
+		cluster: cluster.Paper(),
+		seed:    1,
+	}
+	// Order matters: construct PipeTune after defaults so that options can
+	// override both. Run options twice is unnecessary — options that touch
+	// pipetune fields are applied after construction below.
+	s.tuner = tune.NewRunner(s.trainer, s.cluster)
+	s.pipetune = core.New(s.tuner, s.seed)
+	for _, opt := range opts {
+		opt(s)
+	}
+	// Re-wire in case the cluster was swapped by an option.
+	s.tuner.Cluster = s.cluster
+	if s.pipetune.GT == nil {
+		return nil, errors.New("pipetune: ground truth not initialised")
+	}
+	return s, nil
+}
+
+// JobSpec assembles a standard tuning job for a workload: the paper's
+// hyperparameter space, HyperBand scheduling and accuracy objective.
+func (s *System) JobSpec(w Workload) JobSpec {
+	h := params.DefaultHyper()
+	h.Epochs = 6
+	return JobSpec{
+		Workload:    w,
+		Mode:        ModeV1,
+		Objective:   MaximizeAccuracy,
+		HyperSpace:  PaperHyperSpace(),
+		SystemSpace: PaperSystemSpace(),
+		BaseHyper:   h,
+		BaseSys:     DefaultSysConfig(),
+		Seed:        s.seed,
+	}
+}
+
+// RunBaseline executes a job under plain Tune semantics (ModeV1 or ModeV2
+// per spec.Mode).
+func (s *System) RunBaseline(spec JobSpec) (*JobResult, error) {
+	return s.tuner.RunJob(spec)
+}
+
+// RunPipeTune executes a job under the PipeTune middleware: pipelined
+// system-parameter tuning inside every trial, backed by the System's
+// persistent ground-truth database.
+func (s *System) RunPipeTune(spec JobSpec) (*JobResult, error) {
+	return s.pipetune.RunJob(spec)
+}
+
+// Bootstrap warm-starts the ground-truth database by profiling the given
+// workloads under the probe grid (§7.2).
+func (s *System) Bootstrap(workloads []Workload) error {
+	return s.pipetune.Bootstrap(workloads, s.seed+0x9e37)
+}
+
+// GroundTruthStats reports the similarity database's size and hit/miss
+// counters.
+func (s *System) GroundTruthStats() (entries, hits, misses int) {
+	hits, misses = s.pipetune.GT.Stats()
+	return s.pipetune.GT.Len(), hits, misses
+}
+
+// SaveGroundTruth persists the similarity database as JSON.
+func (s *System) SaveGroundTruth(w io.Writer) error { return s.pipetune.GT.Save(w) }
+
+// LoadGroundTruth restores a previously saved similarity database.
+func (s *System) LoadGroundTruth(r io.Reader) error { return s.pipetune.GT.Load(r) }
+
+// PredictTrialDuration estimates a trial's simulated duration without
+// running it (used for capacity planning and the multi-tenant examples).
+func (s *System) PredictTrialDuration(w Workload, h Hyper, sys SysConfig) (float64, error) {
+	return s.trainer.PredictDuration(w, h, sys)
+}

@@ -1,0 +1,160 @@
+package pipetune
+
+import (
+	"bytes"
+	"testing"
+)
+
+func fastSystem(t *testing.T, opts ...Option) *System {
+	t.Helper()
+	base := []Option{WithSeed(42), WithCorpusSize(128, 64)}
+	s, err := New(append(base, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func fastSpec(s *System, w Workload) JobSpec {
+	spec := s.JobSpec(w)
+	spec.BaseHyper.Epochs = 4
+	spec.HyperSpace = Space{
+		{Name: "batch_size", Values: []float64{32, 256}},
+		{Name: "learning_rate", Values: []float64{0.01, 0.05}},
+	}
+	return spec
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	s := fastSystem(t)
+	w := Workload{Model: LeNet5, Dataset: MNIST}
+	if err := s.Bootstrap(WorkloadsOfType(TypeI)); err != nil {
+		t.Fatal(err)
+	}
+	spec := fastSpec(s, w)
+
+	base, err := s.RunBaseline(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := s.RunPipeTune(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.TuningTime >= base.TuningTime {
+		t.Fatalf("PipeTune tuning %v not below baseline %v", pt.TuningTime, base.TuningTime)
+	}
+	entries, hits, _ := s.GroundTruthStats()
+	if entries == 0 {
+		t.Fatal("ground truth empty after bootstrap")
+	}
+	if hits == 0 {
+		t.Fatal("no ground-truth hits")
+	}
+}
+
+func TestFacadeV2Mode(t *testing.T) {
+	s := fastSystem(t)
+	spec := fastSpec(s, Workload{Model: LeNet5, Dataset: MNIST})
+	spec.Mode = ModeV2
+	spec.Objective = MaximizeAccuracyPerTime
+	spec.SystemSpace = Space{{Name: "cores", Values: []float64{4, 8}}}
+	res, err := s.RunBaseline(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("no best trial")
+	}
+}
+
+func TestFacadeGroundTruthPersistence(t *testing.T) {
+	s := fastSystem(t)
+	if err := s.Bootstrap(WorkloadsOfType(TypeI, TypeII)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.SaveGroundTruth(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2 := fastSystem(t)
+	if err := s2.LoadGroundTruth(&buf); err != nil {
+		t.Fatal(err)
+	}
+	e1, _, _ := s.GroundTruthStats()
+	e2, _, _ := s2.GroundTruthStats()
+	if e1 != e2 || e2 == 0 {
+		t.Fatalf("round trip lost entries: %d vs %d", e1, e2)
+	}
+}
+
+func TestFacadeOptions(t *testing.T) {
+	s := fastSystem(t,
+		WithSingleNode(),
+		WithProbes([]SysConfig{{Cores: 2, MemoryGB: 8}, {Cores: 8, MemoryGB: 16}}),
+		WithEnergyObjective(),
+		WithLoad(2),
+	)
+	w := Workload{Model: Jacobi, Dataset: Rodinia}
+	spec := fastSpec(s, w)
+	spec.BaseSys = SysConfig{Cores: 8, MemoryGB: 16}
+	res, err := s.RunPipeTune(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("no result on single node")
+	}
+}
+
+func TestFacadeCatalog(t *testing.T) {
+	if len(Catalog()) != 7 {
+		t.Fatalf("catalog has %d workloads", len(Catalog()))
+	}
+	if len(WorkloadsOfType(TypeIII)) != 3 {
+		t.Fatal("Type-III filter broken")
+	}
+	if DefaultHyper().BatchSize != 32 {
+		t.Fatal("unexpected default batch size")
+	}
+	if PaperHyperSpace().Size() == 0 || PaperSystemSpace().Size() == 0 {
+		t.Fatal("paper spaces empty")
+	}
+}
+
+func TestFacadePredictDuration(t *testing.T) {
+	s := fastSystem(t)
+	d, err := s.PredictTrialDuration(Workload{Model: LeNet5, Dataset: MNIST}, DefaultHyper(), DefaultSysConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 {
+		t.Fatalf("predicted duration %v", d)
+	}
+}
+
+func TestFacadeNearestNeighborSimilarity(t *testing.T) {
+	s := fastSystem(t, WithNearestNeighborSimilarity(3.0))
+	if err := s.Bootstrap(WorkloadsOfType(TypeI)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.RunPipeTune(fastSpec(s, Workload{Model: LeNet5, Dataset: MNIST}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("no best trial under k-NN similarity")
+	}
+	_, hits, _ := s.GroundTruthStats()
+	if hits == 0 {
+		t.Fatal("k-NN similarity never hit after bootstrap")
+	}
+}
+
+func TestFacadeCustomCluster(t *testing.T) {
+	s := fastSystem(t, WithCluster(2, 16, 32))
+	spec := fastSpec(s, Workload{Model: LeNet5, Dataset: MNIST})
+	if _, err := s.RunBaseline(spec); err != nil {
+		t.Fatal(err)
+	}
+}
