@@ -1,11 +1,11 @@
 package pipetune
 
 // One benchmark per table and figure of the paper's evaluation, plus the
-// ablation benches DESIGN.md calls out. Each benchmark regenerates the
-// artefact end to end and reports its headline quantities via
-// b.ReportMetric, so `go test -bench=. -benchmem` doubles as the
+// scheduler regression bench in scheduler_test.go. Each benchmark
+// regenerates the artefact end to end and reports its headline quantities
+// via b.ReportMetric, so `go test -bench=. -benchmem` doubles as the
 // reproduction harness (see EXPERIMENTS.md for the paper-vs-measured
-// discussion; bench_output.txt records a full run).
+// discussion).
 
 import (
 	"testing"

@@ -45,6 +45,7 @@ func registry() []renderer {
 		{"fig12", wrap(tableOf(experiments.Figure12)), "single tenancy, Type-III"},
 		{"fig13", wrap(tableOf(experiments.Figure13)), "multi tenancy, Type-I/II"},
 		{"fig14", wrap(tableOf(experiments.Figure14)), "multi tenancy, Type-III"},
+		{"sched-policies", wrap(tableOf(experiments.SchedulingPolicies)), "placement policies under contention"},
 		{"ablation-gt", wrap(tableOf(experiments.AblationNoGroundTruth)), "ground truth on/off"},
 		{"ablation-searchers", wrap(tableOf(experiments.AblationSearchers)), "search algorithms"},
 		{"ablation-threshold", wrap(tableOf(experiments.AblationThreshold)), "similarity threshold sweep"},

@@ -12,6 +12,7 @@
 //	-corpus     synthetic corpus size (default 512)
 //	-bootstrap  warm-start the ground truth before the job (default true)
 //	-gt         path to load/save the ground-truth database (optional)
+//	-sched      trial placement policy: fifo | sjf | backfill (default fifo)
 //	-trials     print the per-trial table (default false)
 package main
 
@@ -40,6 +41,7 @@ func run() error {
 		corpusFlag   = flag.Int("corpus", 512, "synthetic training corpus size")
 		bootFlag     = flag.Bool("bootstrap", true, "warm-start the ground truth")
 		gtFlag       = flag.String("gt", "", "ground-truth database file to load and save")
+		schedFlag    = flag.String("sched", pipetune.SchedFIFO, "trial placement policy: fifo | sjf | backfill")
 		trialsFlag   = flag.Bool("trials", false, "print per-trial details")
 	)
 	flag.Parse()
@@ -52,6 +54,7 @@ func run() error {
 	sys, err := pipetune.New(
 		pipetune.WithSeed(*seedFlag),
 		pipetune.WithCorpusSize(*corpusFlag, *corpusFlag/3+1),
+		pipetune.WithScheduler(*schedFlag),
 	)
 	if err != nil {
 		return err

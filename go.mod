@@ -1,0 +1,3 @@
+module pipetune
+
+go 1.24

@@ -1,18 +1,18 @@
 // Package cluster models the deep-learning cluster of §5.1 and §7.1.1: N
 // nodes with C cores and M GB of memory each, on which HPT jobs are
 // scheduled FIFO. It provides the resource allocator used to place training
-// trials, and a discrete-event FIFO queueing simulator for the
-// multi-tenancy experiments (§7.4), where jobs arrive with exponential
-// inter-arrival times and the measured quantity is average response time.
+// trials; the discrete-event queueing simulation for the multi-tenancy
+// experiments (§7.4) is served by the shared internal/sched engine, for
+// which SimulateFIFO remains as a compatibility wrapper and SchedPool
+// exports the cluster's node shapes.
 package cluster
 
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"pipetune/internal/params"
-	"pipetune/internal/simtime"
+	"pipetune/internal/sched"
 	"pipetune/internal/xrand"
 )
 
@@ -148,6 +148,23 @@ func (c *Cluster) Allocate(sys params.SysConfig) (*Alloc, error) {
 	return nil, ErrInsufficient
 }
 
+// SchedPool exports the cluster's node shapes as an empty internal/sched
+// occupancy pool — the occupancy model the event-driven trial scheduler
+// places footprints on (first-fit, never spanning nodes, exactly like
+// Allocate).
+func (c *Cluster) SchedPool() *sched.Pool {
+	caps := make([]sched.NodeCap, len(c.nodes))
+	for i, n := range c.nodes {
+		caps[i] = sched.NodeCap{Cores: n.spec.Cores, MemoryGB: n.spec.MemoryGB}
+	}
+	p, err := sched.NewPool(caps)
+	if err != nil {
+		// Cluster construction already validated the shapes.
+		panic(err)
+	}
+	return p
+}
+
 // Fits reports whether sys could ever be allocated on an empty cluster.
 func (c *Cluster) Fits(sys params.SysConfig) bool {
 	for _, n := range c.nodes {
@@ -179,62 +196,33 @@ type JobStats struct {
 // SimulateFIFO runs the jobs through a FIFO queue with `slots` parallel
 // servers (one HPT job per cluster in the paper's single-tenancy, multiple
 // slots when the cluster is shared) and returns per-job statistics in job
-// order. The paper schedules HPT jobs FIFO (§5.1).
+// order. The paper schedules HPT jobs FIFO (§5.1). The simulation is the
+// shared internal/sched engine under its FIFO policy; use sched.Simulate
+// directly to compare other placement policies.
 func SimulateFIFO(jobs []Job, slots int) ([]JobStats, error) {
-	if slots < 1 {
-		return nil, fmt.Errorf("cluster: %d slots invalid", slots)
-	}
 	for _, j := range jobs {
 		if j.Duration < 0 || j.Arrival < 0 {
 			return nil, fmt.Errorf("cluster: job %d has negative time", j.ID)
 		}
 	}
-	ordered := make([]Job, len(jobs))
-	copy(ordered, jobs)
-	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Arrival < ordered[j].Arrival })
-
-	eng := simtime.NewEngine()
-	stats := make(map[int]JobStats, len(jobs))
-	free := slots
-	queue := make([]Job, 0, len(jobs))
-
-	var tryStart func()
-	tryStart = func() {
-		for free > 0 && len(queue) > 0 {
-			job := queue[0]
-			queue = queue[1:]
-			free--
-			start := eng.Now()
-			eng.Schedule(job.Duration, func() {
-				end := eng.Now()
-				stats[job.ID] = JobStats{
-					ID:       job.ID,
-					Arrival:  job.Arrival,
-					Start:    start,
-					End:      end,
-					Wait:     start - job.Arrival,
-					Response: end - job.Arrival,
-				}
-				free++
-				tryStart()
-			})
+	tasks := make([]sched.Task, len(jobs))
+	for i, j := range jobs {
+		tasks[i] = sched.Task{ID: j.ID, Arrival: j.Arrival, Duration: j.Duration}
+	}
+	st, err := sched.Simulate(tasks, slots, sched.FIFO())
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	out := make([]JobStats, len(jobs))
+	for i, s := range st {
+		out[i] = JobStats{
+			ID:       s.ID,
+			Arrival:  s.Arrival,
+			Start:    s.Start,
+			End:      s.End,
+			Wait:     s.Wait,
+			Response: s.Response,
 		}
-	}
-
-	for _, job := range ordered {
-		job := job
-		eng.ScheduleAt(job.Arrival, func() {
-			queue = append(queue, job)
-			tryStart()
-		})
-	}
-	if err := eng.RunAll(); err != nil {
-		return nil, err
-	}
-
-	out := make([]JobStats, 0, len(jobs))
-	for _, j := range jobs {
-		out = append(out, stats[j.ID])
 	}
 	return out, nil
 }

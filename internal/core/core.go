@@ -33,6 +33,7 @@ import (
 
 	"pipetune/internal/kmeans"
 	"pipetune/internal/params"
+	"pipetune/internal/sched"
 	"pipetune/internal/trainer"
 	"pipetune/internal/tune"
 	"pipetune/internal/workload"
@@ -525,6 +526,13 @@ type PipeTune struct {
 	GT       *GroundTruth
 	Probes   []params.SysConfig
 	Optimize OptimizeFor
+	// Policy, when set, overrides the trial placement policy for PipeTune
+	// jobs (FIFO, SJF or backfill from internal/sched). PipeTune trials
+	// change their system configuration mid-flight, and the scheduler
+	// re-negotiates each trial's cluster allocation at the matching epoch
+	// boundary (§5.6 dynamic reconfiguration) — the policy decides which
+	// waiting trial claims capacity those reconfigurations free.
+	Policy sched.Policy
 }
 
 // New creates a PipeTune middleware with an empty ground-truth database.
@@ -550,6 +558,9 @@ func (p *PipeTune) RunJob(spec tune.JobSpec) (*tune.JobResult, error) {
 	ctrl.Optimize = p.Optimize
 
 	spec.Mode = tune.ModeV1 // hyper space only; system handled by the pipeline
+	if p.Policy != nil {
+		spec.Policy = p.Policy
+	}
 	spec.TrialObserver = ctrl.ObserverFor
 	prevDone := spec.OnTrialDone
 	spec.OnTrialDone = func(trialID int, res *trainer.Result) {

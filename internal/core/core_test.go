@@ -8,6 +8,7 @@ import (
 	"pipetune/internal/dataset"
 	"pipetune/internal/params"
 	"pipetune/internal/perf"
+	"pipetune/internal/sched"
 	"pipetune/internal/search"
 	"pipetune/internal/trainer"
 	"pipetune/internal/tune"
@@ -378,5 +379,35 @@ func TestPipeTuneNotWired(t *testing.T) {
 	}
 	if err := pt.Bootstrap(nil, 1); err == nil {
 		t.Fatal("unwired PipeTune accepted bootstrap")
+	}
+}
+
+func TestPipeTuneReconfiguresThroughScheduler(t *testing.T) {
+	// Cold-start PipeTune probes configurations epoch by epoch, so its
+	// trials must re-negotiate their cluster allocation mid-flight — the
+	// scheduler records those as granted/denied resizes on each record.
+	pt := New(testTuneRunner(), 7)
+	res, err := pt.RunJob(smallJob(lenetMNIST, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reconfigs := 0
+	for _, rec := range res.Trials {
+		reconfigs += rec.Resizes + rec.ResizesDenied
+	}
+	if reconfigs == 0 {
+		t.Fatal("probing trials never reconfigured their allocation")
+	}
+}
+
+func TestPipeTunePolicyForwarded(t *testing.T) {
+	pt := New(testTuneRunner(), 7)
+	pt.Policy = sched.SJF()
+	res, err := pt.RunJob(smallJob(lenetMNIST, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spec.Policy == nil || res.Spec.Policy.Name() != sched.NameSJF {
+		t.Fatal("PipeTune policy not forwarded to the job spec")
 	}
 }

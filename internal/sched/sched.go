@@ -1,0 +1,490 @@
+// Package sched is the discrete-event trial scheduler every execution path
+// shares: the hyperparameter tuner (package tune) places trials through it,
+// the multi-tenancy experiments queue whole HPT jobs through it, and the
+// old cluster.SimulateFIFO queueing simulator is now a thin wrapper over
+// its FIFO policy.
+//
+// The engine runs on simtime's event queue. Tasks arrive at a simulated
+// instant, wait until the active placement Policy admits them (their
+// resource footprint must fit the Pool, and at most Slots tasks may run),
+// execute for their known simulated duration, and complete — at which point
+// the caller's completion hook fires *immediately*, in simulated completion
+// order. That hook is what makes the surrounding search incremental: the
+// tuner reports each trial to the searcher the moment it finishes instead
+// of at a batch barrier.
+//
+// Running tasks may re-negotiate their footprint mid-flight (Resize events)
+// — the scheduler-level model of the paper's §5.6 dynamic reconfiguration:
+// when PipeTune settles on a new system configuration at an epoch boundary,
+// the trial's allocation shrinks or grows at that simulated instant, and
+// the freed (or newly claimed) capacity immediately affects which waiting
+// tasks can start. A growth that no longer fits is denied deterministically
+// and the task keeps its previous reservation. Denial is an allocation-
+// state model only: a task's Duration is fixed at submit time (the trainer
+// prices the trial assuming its reconfigurations take effect), so a denied
+// growth does not slow the task down — it under-counts contention in the
+// saturated regime, a deliberate trade for precomputed, deterministic
+// durations. ResizesDenied in TaskStats makes the approximation visible.
+//
+// Everything is single-threaded and deterministic: identical task sets,
+// policies and pools produce identical schedules, with same-instant events
+// ordered completions-then-arrivals (see simtime.ScheduleAtPrio).
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"pipetune/internal/params"
+	"pipetune/internal/simtime"
+)
+
+// ErrNeverFits is returned by Submit when a task's footprint exceeds every
+// node of the pool — it could not start even on an idle cluster.
+var ErrNeverFits = errors.New("sched: footprint can never fit the pool")
+
+// Same-instant dispatch classes: resizes free/claim capacity first,
+// completions release next, arrivals observe the settled state last.
+const (
+	prioResize     = -2
+	prioCompletion = -1
+	prioArrival    = 0
+)
+
+// Resize is a mid-task footprint change at a fixed offset from task start.
+type Resize struct {
+	Offset float64          `json:"offset"` // seconds after the task starts
+	Sys    params.SysConfig `json:"sys"`
+}
+
+// Task is one schedulable unit of simulated work. A zero Sys footprint
+// makes the task slot-only: it consumes an admission slot but no modelled
+// resources (the whole-job queueing simulations use this).
+type Task struct {
+	ID       int
+	Arrival  float64
+	Sys      params.SysConfig
+	Duration float64
+	Resizes  []Resize
+}
+
+// slotOnly reports whether the task claims no modelled resources.
+func (t Task) slotOnly() bool { return t.Sys == (params.SysConfig{}) }
+
+// TaskStats is one task's scheduling outcome.
+type TaskStats struct {
+	ID             int     `json:"id"`
+	Arrival        float64 `json:"arrival"`
+	Start          float64 `json:"start"`
+	End            float64 `json:"end"`
+	Wait           float64 `json:"wait"`     // Start - Arrival
+	Response       float64 `json:"response"` // End - Arrival
+	Node           int     `json:"node"`     // final hosting node; -1 for slot-only
+	ResizesGranted int     `json:"resizesGranted"`
+	ResizesDenied  int     `json:"resizesDenied"`
+}
+
+// queued is a task waiting for admission.
+type queued struct {
+	task   Task
+	onDone func(Task, TaskStats)
+}
+
+// timedResize is a not-yet-applied resize at an absolute simulated time.
+type timedResize struct {
+	at  float64
+	sys params.SysConfig
+}
+
+// runningTask is an admitted task occupying resources until its end time.
+type runningTask struct {
+	task    Task
+	start   float64
+	end     float64
+	node    int              // -1 when slot-only
+	sys     params.SysConfig // current (possibly resized) footprint
+	pending []timedResize    // scheduled resizes not yet applied, time order
+	granted int
+	denied  int
+}
+
+// Engine is the event-driven scheduler. It is not safe for concurrent use:
+// Submit may be called before Run or from within completion hooks, mirroring
+// simtime's single-threaded model.
+type Engine struct {
+	sim     *simtime.Engine
+	pool    *Pool // nil = slot-only scheduling
+	policy  Policy
+	slots   int // max concurrent tasks; 0 = bounded by the pool alone
+	queue   []*queued
+	running map[int]*runningTask
+	seq     int // running-task insertion order for deterministic iteration
+	order   map[int]int
+	done    []TaskStats
+	halted  bool
+	err     error // first internal failure; surfaced by Run
+}
+
+// New creates an engine over a pool (nil for slot-only queueing) with a
+// placement policy (nil defaults to FIFO) and an admission slot cap
+// (0 = unbounded, the pool's capacity is then the only brake).
+func New(pool *Pool, policy Policy, slots int) *Engine {
+	if policy == nil {
+		policy = FIFO()
+	}
+	return &Engine{
+		sim:     simtime.NewEngine(),
+		pool:    pool,
+		policy:  policy,
+		slots:   slots,
+		running: make(map[int]*runningTask),
+		order:   make(map[int]int),
+	}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() float64 { return e.sim.Now() }
+
+// Policy returns the active placement policy.
+func (e *Engine) Policy() Policy { return e.policy }
+
+// Halt stops the simulation before the next event; Run returns
+// simtime.ErrStopped. Callers use it to abort from a completion hook.
+func (e *Engine) Halt() {
+	e.halted = true
+	e.sim.Stop()
+}
+
+// Submit registers a task. Its arrival event fires at max(Arrival, Now);
+// onDone (optional) fires at the task's simulated completion, before any
+// same-instant arrivals are processed. Tasks whose footprint cannot fit an
+// idle pool are rejected with ErrNeverFits — the caller finds out at submit
+// time, not after the queue deadlocks.
+func (e *Engine) Submit(t Task, onDone func(Task, TaskStats)) error {
+	if t.Duration < 0 || t.Arrival < 0 {
+		return fmt.Errorf("sched: task %d has negative time", t.ID)
+	}
+	if !t.slotOnly() {
+		if e.pool == nil {
+			return fmt.Errorf("sched: task %d has footprint %v but the engine is slot-only", t.ID, t.Sys)
+		}
+		if !e.pool.canEverFit(t.Sys) {
+			return fmt.Errorf("sched: task %d footprint %v: %w", t.ID, t.Sys, ErrNeverFits)
+		}
+		for _, rz := range t.Resizes {
+			if !e.pool.canEverFit(rz.Sys) {
+				return fmt.Errorf("sched: task %d resize to %v: %w", t.ID, rz.Sys, ErrNeverFits)
+			}
+		}
+	}
+	q := &queued{task: t, onDone: onDone}
+	e.sim.ScheduleAtPrio(t.Arrival, prioArrival, func() {
+		e.queue = append(e.queue, q)
+		e.dispatch()
+	})
+	return nil
+}
+
+// Run dispatches events until the queue drains. It returns the engine's
+// internal error if one occurred (e.g. a custom policy picked a
+// non-fitting task), simtime.ErrStopped if Halt was called by the caller,
+// or an error if tasks remain waiting with nothing running (a policy
+// admitted nothing — cannot happen with the built-in policies, but a
+// custom one could livelock).
+func (e *Engine) Run() error {
+	simErr := e.sim.RunAll()
+	if e.err != nil {
+		return e.err
+	}
+	if simErr != nil {
+		return simErr
+	}
+	if len(e.queue) > 0 {
+		return fmt.Errorf("sched: %d tasks never admitted (policy %s starved the queue)",
+			len(e.queue), e.policy.Name())
+	}
+	return nil
+}
+
+// Stats returns the completed tasks' statistics in completion order.
+func (e *Engine) Stats() []TaskStats { return e.done }
+
+// fitsNow reports whether the queued task at index i could start.
+func (e *Engine) fitsNow(i int) bool {
+	t := e.queue[i].task
+	if t.slotOnly() || e.pool == nil {
+		return true // slot availability is checked before the policy runs
+	}
+	return e.pool.probe(t.Sys)
+}
+
+// runningByEnd returns the running set ordered by (end, admission order) —
+// the deterministic release sequence used for shadow-time computation.
+func (e *Engine) runningByEnd() []*runningTask {
+	out := make([]*runningTask, 0, len(e.running))
+	for _, rt := range e.running {
+		out = append(out, rt)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].end != out[j].end {
+			return out[i].end < out[j].end
+		}
+		return e.order[out[i].task.ID] < e.order[out[j].task.ID]
+	})
+	return out
+}
+
+// earliestStart computes when queue[i] could start assuming no further
+// admissions: the running set's completions AND its already-scheduled
+// resize events are replayed chronologically on a scratch pool, mirroring
+// the engine's own resize semantics. Modelling the resizes matters for
+// backfill's no-delay guarantee — a pending shrink can let the head start
+// long before any task completes, and an overestimated shadow would admit
+// backfill candidates that then delay the head.
+func (e *Engine) earliestStart(i int) float64 {
+	t := e.queue[i].task
+	slotsBusy := len(e.running)
+	slotFree := func() bool { return e.slots <= 0 || slotsBusy < e.slots }
+	var scratch *Pool
+	if e.pool != nil {
+		scratch = e.pool.clone()
+	}
+	fits := func() bool {
+		if !slotFree() {
+			return false
+		}
+		if t.slotOnly() || scratch == nil {
+			return true
+		}
+		return scratch.probe(t.Sys)
+	}
+	if fits() {
+		return e.Now()
+	}
+
+	// Replay events in the engine's dispatch order: (time, resizes before
+	// completions, admission order).
+	type replayEvent struct {
+		at       float64
+		prio     int // 0 = resize, 1 = completion
+		seq      int
+		rt       *runningTask
+		resizeTo params.SysConfig
+	}
+	type replayState struct {
+		node int
+		sys  params.SysConfig
+		done bool
+	}
+	var events []replayEvent
+	state := make(map[int]*replayState, len(e.running))
+	for _, rt := range e.runningByEnd() {
+		state[rt.task.ID] = &replayState{node: rt.node, sys: rt.sys}
+		for _, rz := range rt.pending {
+			events = append(events, replayEvent{at: rz.at, prio: 0, rt: rt, resizeTo: rz.sys})
+		}
+		events = append(events, replayEvent{at: rt.end, prio: 1, rt: rt})
+	}
+	for i := range events {
+		events[i].seq = i
+	}
+	sort.Slice(events, func(a, b int) bool {
+		if events[a].at != events[b].at {
+			return events[a].at < events[b].at
+		}
+		if events[a].prio != events[b].prio {
+			return events[a].prio < events[b].prio
+		}
+		return events[a].seq < events[b].seq
+	})
+	for _, ev := range events {
+		st := state[ev.rt.task.ID]
+		if st.done {
+			continue
+		}
+		switch ev.prio {
+		case 0: // resize, same in-place/elsewhere/keep logic as resize()
+			if scratch == nil || st.node < 0 || st.sys == ev.resizeTo {
+				break
+			}
+			scratch.free(st.node, st.sys)
+			if scratch.placeOn(st.node, ev.resizeTo) {
+				st.sys = ev.resizeTo
+			} else if n := scratch.place(ev.resizeTo); n >= 0 {
+				st.node = n
+				st.sys = ev.resizeTo
+			} else {
+				scratch.placeOn(st.node, st.sys) // denied: keep reservation
+			}
+		case 1: // completion
+			st.done = true
+			slotsBusy--
+			if scratch != nil && st.node >= 0 {
+				scratch.free(st.node, st.sys)
+			}
+		}
+		if fits() {
+			return ev.at
+		}
+	}
+	return math.Inf(1)
+}
+
+// dispatch starts queued tasks while the policy keeps admitting them.
+func (e *Engine) dispatch() {
+	for !e.halted && len(e.queue) > 0 {
+		if e.slots > 0 && len(e.running) >= e.slots {
+			return
+		}
+		ctx := &PickContext{
+			Now:           e.Now(),
+			Queue:         make([]Task, len(e.queue)),
+			FitsNow:       e.fitsNow,
+			EarliestStart: e.earliestStart,
+		}
+		for i, q := range e.queue {
+			ctx.Queue[i] = q.task
+		}
+		idx := e.policy.Pick(ctx)
+		if idx < 0 || idx >= len(e.queue) {
+			return
+		}
+		e.start(idx)
+	}
+}
+
+// start admits queue[idx]: reserves its footprint, schedules its resize and
+// completion events.
+func (e *Engine) start(idx int) {
+	q := e.queue[idx]
+	e.queue = append(e.queue[:idx], e.queue[idx+1:]...)
+	t := q.task
+	node := -1
+	if !t.slotOnly() && e.pool != nil {
+		node = e.pool.place(t.Sys)
+		if node < 0 {
+			// The policy picked a task that does not fit — a policy bug.
+			// Fail loudly rather than corrupting occupancy.
+			e.fail(fmt.Errorf("sched: policy %s picked task %d whose footprint %v does not currently fit",
+				e.policy.Name(), t.ID, t.Sys))
+			return
+		}
+	}
+	now := e.Now()
+	rt := &runningTask{task: t, start: now, end: now + t.Duration, node: node, sys: t.Sys}
+	e.running[t.ID] = rt
+	e.order[t.ID] = e.seq
+	e.seq++
+
+	for _, rz := range t.Resizes {
+		rz := rz
+		if rz.Offset <= 0 || rz.Offset >= t.Duration {
+			continue // outside the task's lifetime: nothing to re-negotiate
+		}
+		rt.pending = append(rt.pending, timedResize{at: now + rz.Offset, sys: rz.Sys})
+		e.sim.ScheduleAtPrio(now+rz.Offset, prioResize, func() { e.resize(t.ID, rz.Sys) })
+	}
+	// Resize events fire in time order with submission order breaking ties
+	// (simtime seq); keep the pending list in the same order so replay and
+	// reality agree.
+	sort.SliceStable(rt.pending, func(i, j int) bool { return rt.pending[i].at < rt.pending[j].at })
+	e.sim.ScheduleAtPrio(rt.end, prioCompletion, func() { e.complete(t.ID, q.onDone) })
+}
+
+// fail records the first internal error and halts the simulation.
+func (e *Engine) fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+	e.Halt()
+}
+
+// resize re-negotiates a running task's reservation: in-place on its node
+// when possible, otherwise on any other node, otherwise denied (the task
+// keeps its previous footprint). Shrinking always succeeds in place.
+func (e *Engine) resize(id int, to params.SysConfig) {
+	rt, ok := e.running[id]
+	if !ok || e.halted {
+		return
+	}
+	if len(rt.pending) > 0 {
+		rt.pending = rt.pending[1:] // this event is no longer pending
+	}
+	if rt.node < 0 || rt.sys == to {
+		return
+	}
+	e.pool.free(rt.node, rt.sys)
+	if e.pool.placeOn(rt.node, to) {
+		rt.sys = to
+		rt.granted++
+	} else if n := e.pool.place(to); n >= 0 {
+		rt.node = n
+		rt.sys = to
+		rt.granted++
+	} else {
+		// Denied: restore the old reservation (guaranteed to fit — it was
+		// just released from that node).
+		if !e.pool.placeOn(rt.node, rt.sys) {
+			e.fail(fmt.Errorf("sched: task %d lost its reservation %v on node %d during a denied resize",
+				id, rt.sys, rt.node)) // unreachable unless the pool is corrupted
+			return
+		}
+		rt.denied++
+	}
+	// A shrink may have freed capacity a waiting task can use.
+	e.dispatch()
+}
+
+// complete releases the task's resources, records its stats, fires the
+// caller's hook and re-runs admission.
+func (e *Engine) complete(id int, onDone func(Task, TaskStats)) {
+	rt, ok := e.running[id]
+	if !ok || e.halted {
+		return
+	}
+	delete(e.running, id)
+	delete(e.order, id)
+	if rt.node >= 0 {
+		e.pool.free(rt.node, rt.sys)
+	}
+	st := TaskStats{
+		ID:             rt.task.ID,
+		Arrival:        rt.task.Arrival,
+		Start:          rt.start,
+		End:            rt.end,
+		Wait:           rt.start - rt.task.Arrival,
+		Response:       rt.end - rt.task.Arrival,
+		Node:           rt.node,
+		ResizesGranted: rt.granted,
+		ResizesDenied:  rt.denied,
+	}
+	e.done = append(e.done, st)
+	if onDone != nil {
+		onDone(rt.task, st)
+	}
+	e.dispatch()
+}
+
+// Simulate runs a fixed set of slot-only tasks through the engine under a
+// policy (nil = FIFO) with `slots` parallel servers, returning per-task
+// statistics in input order. This serves the multi-tenancy queueing
+// simulations that cluster.SimulateFIFO used to implement privately.
+func Simulate(tasks []Task, slots int, policy Policy) ([]TaskStats, error) {
+	if slots < 1 {
+		return nil, fmt.Errorf("sched: %d slots invalid", slots)
+	}
+	eng := New(nil, policy, slots)
+	out := make([]TaskStats, len(tasks))
+	for i, t := range tasks {
+		i := i
+		if err := eng.Submit(t, func(_ Task, st TaskStats) { out[i] = st }); err != nil {
+			return nil, err
+		}
+	}
+	if err := eng.Run(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

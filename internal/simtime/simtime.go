@@ -43,9 +43,10 @@ func (c *Clock) Set(t float64) {
 
 // event is one scheduled callback.
 type event struct {
-	at  float64
-	seq uint64 // insertion order, breaks ties deterministically
-	fn  func()
+	at   float64
+	prio int    // same-instant ordering class; lower dispatches first
+	seq  uint64 // insertion order, breaks remaining ties deterministically
+	fn   func()
 }
 
 type eventQueue []*event
@@ -54,6 +55,9 @@ func (q eventQueue) Len() int { return len(q) }
 func (q eventQueue) Less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
+	}
+	if q[i].prio != q[j].prio {
+		return q[i].prio < q[j].prio
 	}
 	return q[i].seq < q[j].seq
 }
@@ -102,10 +106,19 @@ func (e *Engine) Schedule(delay float64, fn func()) {
 // ScheduleAt queues fn at absolute virtual time t. Times in the past are
 // clamped to the current time.
 func (e *Engine) ScheduleAt(t float64, fn func()) {
+	e.ScheduleAtPrio(t, 0, fn)
+}
+
+// ScheduleAtPrio queues fn at absolute virtual time t within an ordering
+// class: when several events share an instant, lower prio dispatches first
+// (FIFO within a class). Queueing simulators use this to process departures
+// (prio < 0, freeing resources) before same-instant arrivals (prio 0), the
+// convention that keeps admission decisions independent of insertion order.
+func (e *Engine) ScheduleAtPrio(t float64, prio int, fn func()) {
 	if t < e.clock.Now() {
 		t = e.clock.Now()
 	}
-	ev := &event{at: t, seq: e.nextSeq, fn: fn}
+	ev := &event{at: t, prio: prio, seq: e.nextSeq, fn: fn}
 	e.nextSeq++
 	heap.Push(&e.queue, ev)
 }

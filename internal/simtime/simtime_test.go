@@ -172,3 +172,21 @@ func TestManyEventsDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestScheduleAtPrioOrdersSameInstant(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.ScheduleAt(10, func() { order = append(order, "arrival") })
+	e.ScheduleAtPrio(10, -1, func() { order = append(order, "completion") })
+	e.ScheduleAtPrio(10, -2, func() { order = append(order, "resize") })
+	e.ScheduleAtPrio(10, -1, func() { order = append(order, "completion2") })
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"resize", "completion", "completion2", "arrival"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("same-instant order %v, want %v", order, want)
+		}
+	}
+}

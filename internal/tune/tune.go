@@ -14,8 +14,17 @@
 // trainer.EpochObserver factory (system tuning inside the trial) and a
 // trial-completion hook (feeding the ground-truth database).
 //
-// Trials execute concurrently on a bounded worker pool; all reported times
-// are simulated seconds derived from the cost model, so results are
+// Job execution is event-driven: trials flow through the internal/sched
+// discrete-event scheduler, each admitted the moment its system footprint
+// fits the cluster (under the configured placement policy) and reported to
+// the searcher the instant it completes — there is no batch barrier. Trials
+// whose epoch log shows a mid-trial system reconfiguration (PipeTune's
+// pipelined tuning) re-negotiate their cluster allocation at the matching
+// simulated instant. The pre-refactor barrier scheduler survives as
+// RunJobBarrier, the regression reference.
+//
+// Trial bodies execute concurrently on a bounded worker pool; all reported
+// times are simulated seconds derived from the cost model, so results are
 // deterministic regardless of goroutine interleaving.
 package tune
 
@@ -28,6 +37,7 @@ import (
 
 	"pipetune/internal/cluster"
 	"pipetune/internal/params"
+	"pipetune/internal/sched"
 	"pipetune/internal/search"
 	"pipetune/internal/trainer"
 	"pipetune/internal/workload"
@@ -125,11 +135,17 @@ type JobSpec struct {
 	MaxParallel int
 	Searcher    SearcherFactory
 
+	// Policy selects the trial placement policy (FIFO, SJF, backfill);
+	// nil falls back to the Runner's policy, then to FIFO — the order the
+	// paper's cluster uses and the one whose makespan exactly matches the
+	// legacy barrier scheduler.
+	Policy sched.Policy
+
 	// TrialObserver, when set, supplies a per-trial epoch observer (this
 	// is PipeTune's hook; nil for the baselines).
 	TrialObserver func(trialID int) trainer.EpochObserver
-	// OnTrialDone, when set, is called after each trial completes, in
-	// trial-ID order within a batch (PipeTune's ground-truth feeder).
+	// OnTrialDone, when set, is called as each trial completes, in
+	// simulated completion order (PipeTune's ground-truth feeder).
 	OnTrialDone func(trialID int, res *trainer.Result)
 }
 
@@ -145,6 +161,12 @@ type TrialRecord struct {
 	// Start/End are simulated wall-clock seconds within the tuning job.
 	Start float64 `json:"start"`
 	End   float64 `json:"end"`
+	// Resizes/ResizesDenied count the trial's mid-flight allocation
+	// re-negotiations (granted and refused) — PipeTune's §5.6 dynamic
+	// reconfiguration as seen by the scheduler. Always zero for baselines,
+	// whose system configuration is fixed for the whole trial.
+	Resizes       int `json:"resizes,omitempty"`
+	ResizesDenied int `json:"resizesDenied,omitempty"`
 }
 
 // ProgressPoint supports the convergence plots (Figures 9 and 10): the
@@ -173,6 +195,9 @@ type Runner struct {
 	// Workers bounds the real goroutine pool (not the simulated slots);
 	// 0 means one worker per simulated slot.
 	Workers int
+	// Policy is the default trial placement policy for jobs that do not
+	// set JobSpec.Policy; nil means FIFO.
+	Policy sched.Policy
 }
 
 // NewRunner wires a runner to a trainer and cluster.
@@ -226,29 +251,30 @@ func (r *Runner) slotCount(spec JobSpec) (int, error) {
 	return slots, nil
 }
 
-// RunJob executes the HPT job to completion.
-func (r *Runner) RunJob(spec JobSpec) (*JobResult, error) {
+// prepare validates the spec and constructs the job machinery shared by the
+// event-driven and barrier execution paths.
+func (r *Runner) prepare(spec JobSpec) (searcher search.Searcher, slots, workers int, err error) {
 	if r.Trainer == nil || r.Cluster == nil {
-		return nil, errors.New("tune: runner not wired")
+		return nil, 0, 0, errors.New("tune: runner not wired")
 	}
 	if spec.Mode != ModeV1 && spec.Mode != ModeV2 {
-		return nil, fmt.Errorf("tune: invalid mode %v", spec.Mode)
+		return nil, 0, 0, fmt.Errorf("tune: invalid mode %v", spec.Mode)
 	}
 	if spec.Objective != MaximizeAccuracy && spec.Objective != MaximizeAccuracyPerTime {
-		return nil, fmt.Errorf("tune: invalid objective %v", spec.Objective)
+		return nil, 0, 0, fmt.Errorf("tune: invalid objective %v", spec.Objective)
 	}
 	if err := spec.BaseHyper.Validate(); err != nil {
-		return nil, fmt.Errorf("tune: %w", err)
+		return nil, 0, 0, fmt.Errorf("tune: %w", err)
 	}
 	if err := spec.BaseSys.Validate(); err != nil {
-		return nil, fmt.Errorf("tune: %w", err)
+		return nil, 0, 0, fmt.Errorf("tune: %w", err)
 	}
 	space := spec.HyperSpace
 	if spec.Mode == ModeV2 {
 		space = params.Concat(spec.HyperSpace, spec.SystemSpace)
 	}
 	if err := space.Validate(); err != nil {
-		return nil, fmt.Errorf("tune: %w", err)
+		return nil, 0, 0, fmt.Errorf("tune: %w", err)
 	}
 	factory := spec.Searcher
 	if factory == nil {
@@ -267,17 +293,162 @@ func (r *Runner) RunJob(spec JobSpec) (*JobResult, error) {
 		}
 	}
 	rng := xrand.New(spec.Seed)
-	searcher, err := factory(space, rng.Split())
+	searcher, err = factory(space, rng.Split())
 	if err != nil {
-		return nil, fmt.Errorf("tune: build searcher: %w", err)
+		return nil, 0, 0, fmt.Errorf("tune: build searcher: %w", err)
 	}
-	slots, err := r.slotCount(spec)
+	slots, err = r.slotCount(spec)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	workers = r.Workers
+	if workers <= 0 {
+		workers = slots
+	}
+	return searcher, slots, workers, nil
+}
+
+// policyFor resolves the placement policy precedence: spec, runner, FIFO.
+func (r *Runner) policyFor(spec JobSpec) sched.Policy {
+	if spec.Policy != nil {
+		return spec.Policy
+	}
+	if r.Policy != nil {
+		return r.Policy
+	}
+	return sched.FIFO()
+}
+
+// resizeEvents converts a trial's epoch log into scheduler resize events:
+// one for every epoch boundary at which the epoch observer switched the
+// system configuration. Baseline trials run every epoch on StartSys and
+// produce none; PipeTune trials re-negotiate their allocation as probing
+// and settling proceed — the paper's §5.6 dynamic reconfiguration expressed
+// as scheduler events rather than only re-priced in the cost model.
+func resizeEvents(res *trainer.Result) []sched.Resize {
+	if len(res.Epochs) == 0 {
+		return nil
+	}
+	var out []sched.Resize
+	cur := res.Epochs[0].Sys
+	for _, ep := range res.Epochs[1:] {
+		if ep.Sys != cur {
+			out = append(out, sched.Resize{Offset: ep.EndTime - ep.Duration, Sys: ep.Sys})
+			cur = ep.Sys
+		}
+	}
+	return out
+}
+
+// RunJob executes the HPT job to completion on the event-driven scheduler:
+// every trial is admitted the moment its footprint fits the cluster under
+// the placement policy, and the searcher observes each result at the
+// trial's simulated completion instant. The searcher is asked for more work
+// as soon as all outstanding suggestions have reported (incremental
+// Observe), so search algorithms that can promote early do; with the
+// default FIFO policy the schedule — and therefore TuningTime and Best —
+// is identical to the legacy barrier scheduler's.
+func (r *Runner) RunJob(spec JobSpec) (*JobResult, error) {
+	searcher, slots, workers, err := r.prepare(spec)
 	if err != nil {
 		return nil, err
 	}
-	workers := r.Workers
-	if workers <= 0 {
-		workers = slots
+	eng := sched.New(r.Cluster.SchedPool(), r.policyFor(spec), slots)
+	res := &JobResult{Spec: spec}
+	outstanding := 0
+	bestAcc := 0.0
+	var loopErr error
+
+	var submit func(batch []search.Suggestion)
+	complete := func(rec *TrialRecord) {
+		res.Trials = append(res.Trials, *rec)
+		res.TotalEnergy += rec.Result.EnergyJ
+		searcher.Observe([]search.Report{{ID: rec.ID, Score: rec.Score}})
+		if spec.OnTrialDone != nil {
+			spec.OnTrialDone(rec.ID, rec.Result)
+		}
+		// Ties resolve to the lower trial ID — the same winner the barrier
+		// scheduler's in-order scan selects.
+		if res.Best == nil || rec.Score > res.Best.Score ||
+			(rec.Score == res.Best.Score && rec.ID < res.Best.ID) {
+			cp := *rec
+			res.Best = &cp
+		}
+		if rec.Result.Accuracy > bestAcc {
+			bestAcc = rec.Result.Accuracy
+		}
+		res.Progress = append(res.Progress, ProgressPoint{
+			Time:          rec.End,
+			BestAccuracy:  bestAcc,
+			TrialDuration: rec.Result.Duration,
+		})
+		outstanding--
+		if outstanding == 0 && loopErr == nil {
+			if next := searcher.Next(); len(next) > 0 {
+				submit(next)
+			}
+		}
+	}
+	submit = func(batch []search.Suggestion) {
+		records, err := r.runBatch(spec, batch, workers)
+		if err != nil {
+			loopErr = err
+			eng.Halt()
+			return
+		}
+		outstanding += len(records)
+		for i := range records {
+			rec := &records[i]
+			task := sched.Task{
+				ID:       rec.ID,
+				Arrival:  eng.Now(),
+				Sys:      rec.StartSys,
+				Duration: rec.Result.Duration,
+				Resizes:  resizeEvents(rec.Result),
+			}
+			err := eng.Submit(task, func(_ sched.Task, st sched.TaskStats) {
+				rec.Start, rec.End = st.Start, st.End
+				rec.Resizes, rec.ResizesDenied = st.ResizesGranted, st.ResizesDenied
+				complete(rec)
+			})
+			if err != nil {
+				loopErr = fmt.Errorf("tune: trial %d: %w", rec.ID, err)
+				eng.Halt()
+				return
+			}
+		}
+	}
+
+	first := searcher.Next()
+	if len(first) == 0 {
+		return nil, errors.New("tune: searcher proposed no trials")
+	}
+	submit(first)
+	if loopErr != nil {
+		return nil, loopErr
+	}
+	if err := eng.Run(); err != nil && loopErr == nil {
+		return nil, fmt.Errorf("tune: %w", err)
+	}
+	if loopErr != nil {
+		return nil, loopErr
+	}
+	if res.Best == nil {
+		return nil, errors.New("tune: searcher proposed no trials")
+	}
+	res.TuningTime = eng.Now()
+	return res, nil
+}
+
+// RunJobBarrier executes the HPT job under the pre-refactor batch-barrier
+// model: every searcher batch runs to its collective makespan before any
+// result is observed. Retained as the regression reference the event-driven
+// scheduler is benchmarked against (bench_test.go) — its TuningTime is the
+// ceiling RunJob must stay at or below.
+func (r *Runner) RunJobBarrier(spec JobSpec) (*JobResult, error) {
+	searcher, slots, workers, err := r.prepare(spec)
+	if err != nil {
+		return nil, err
 	}
 
 	res := &JobResult{Spec: spec}

@@ -1,7 +1,6 @@
 package tune
 
 import (
-	"sort"
 	"testing"
 
 	"pipetune/internal/cluster"
@@ -190,21 +189,39 @@ func TestTrialObserverHookInvoked(t *testing.T) {
 	}
 }
 
-func TestOnTrialDoneOrdered(t *testing.T) {
+func TestOnTrialDoneCompletionOrder(t *testing.T) {
 	r := testRunner()
 	spec := baseSpec(ModeV1, MaximizeAccuracy)
 	var ids []int
 	spec.OnTrialDone = func(trialID int, _ *trainer.Result) {
 		ids = append(ids, trialID)
 	}
-	if _, err := r.RunJob(spec); err != nil {
+	res, err := r.RunJob(spec)
+	if err != nil {
 		t.Fatal(err)
 	}
 	if len(ids) != 4 {
 		t.Fatalf("OnTrialDone called %d times, want 4", len(ids))
 	}
-	if !sort.IntsAreSorted(ids) {
-		t.Fatalf("OnTrialDone out of order: %v", ids)
+	// The hook fires per trial in simulated completion order — the same
+	// order the trials appear in res.Trials.
+	seen := make(map[int]int)
+	for i, rec := range res.Trials {
+		if ids[i] != rec.ID {
+			t.Fatalf("OnTrialDone order %v diverges from completion order at %d", ids, i)
+		}
+		seen[rec.ID]++
+	}
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("trial %d reported %d times", id, n)
+		}
+	}
+	for i := 1; i < len(res.Trials); i++ {
+		if res.Trials[i].End < res.Trials[i-1].End {
+			t.Fatalf("res.Trials not in completion order: %v after %v",
+				res.Trials[i].End, res.Trials[i-1].End)
+		}
 	}
 }
 

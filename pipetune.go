@@ -19,17 +19,22 @@
 //
 // Baselines (Tune V1/V2 of the paper's §4) run through the same facade via
 // RunBaseline. Everything is deterministic under a fixed seed and runs on
-// simulated time.
+// simulated time: trials flow through an event-driven discrete-event
+// scheduler (internal/sched) whose placement policy is selectable with
+// WithScheduler. See DESIGN.md for the scheduler architecture and
+// EXPERIMENTS.md for the paper-versus-measured comparison.
 package pipetune
 
 import (
 	"errors"
+	"fmt"
 	"io"
 
 	"pipetune/internal/cluster"
 	"pipetune/internal/core"
 	"pipetune/internal/dataset"
 	"pipetune/internal/params"
+	"pipetune/internal/sched"
 	"pipetune/internal/trainer"
 	"pipetune/internal/tune"
 	"pipetune/internal/workload"
@@ -136,6 +141,7 @@ type System struct {
 	tuner    *tune.Runner
 	pipetune *core.PipeTune
 	seed     uint64
+	err      error // first option error; surfaced by New
 }
 
 // Option customises a System.
@@ -146,13 +152,47 @@ func WithSeed(seed uint64) Option {
 	return func(s *System) { s.seed = seed }
 }
 
-// WithCluster replaces the default 4-node testbed cluster.
+// WithCluster replaces the default 4-node testbed cluster. An invalid node
+// specification fails pipetune.New rather than silently keeping the
+// default cluster.
 func WithCluster(numNodes, coresPerNode, memGBPerNode int) Option {
 	return func(s *System) {
 		c, err := cluster.New(numNodes, cluster.NodeSpec{Cores: coresPerNode, MemoryGB: memGBPerNode})
-		if err == nil {
-			s.cluster = c
+		if err != nil {
+			s.fail(fmt.Errorf("pipetune: WithCluster: %w", err))
+			return
 		}
+		s.cluster = c
+	}
+}
+
+// Trial placement policies accepted by WithScheduler.
+const (
+	SchedFIFO     = sched.NameFIFO
+	SchedSJF      = sched.NameSJF
+	SchedBackfill = sched.NameBackfill
+)
+
+// WithScheduler selects the trial placement policy of the event-driven
+// scheduler for both the baselines and PipeTune: SchedFIFO (the paper's
+// order, default), SchedSJF (shortest job first) or SchedBackfill
+// (conservative EASY backfill). An unknown name fails pipetune.New.
+func WithScheduler(policy string) Option {
+	return func(s *System) {
+		p, err := sched.ByName(policy)
+		if err != nil {
+			s.fail(fmt.Errorf("pipetune: WithScheduler: %w", err))
+			return
+		}
+		s.tuner.Policy = p
+		s.pipetune.Policy = p
+	}
+}
+
+// fail records the first option error.
+func (s *System) fail(err error) {
+	if s.err == nil {
+		s.err = err
 	}
 }
 
@@ -218,6 +258,9 @@ func New(opts ...Option) (*System, error) {
 	s.pipetune = core.New(s.tuner, s.seed)
 	for _, opt := range opts {
 		opt(s)
+	}
+	if s.err != nil {
+		return nil, s.err
 	}
 	// Re-wire in case the cluster was swapped by an option.
 	s.tuner.Cluster = s.cluster

@@ -158,3 +158,30 @@ func TestFacadeCustomCluster(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFacadeInvalidClusterRejected(t *testing.T) {
+	// Regression: WithCluster used to swallow the cluster.New error and
+	// silently fall back to the default testbed.
+	if _, err := New(WithCluster(0, 16, 32)); err == nil {
+		t.Fatal("zero-node cluster accepted")
+	}
+	if _, err := New(WithCluster(2, -1, 32)); err == nil {
+		t.Fatal("negative-core cluster accepted")
+	}
+}
+
+func TestFacadeScheduler(t *testing.T) {
+	if _, err := New(WithScheduler("lifo")); err == nil {
+		t.Fatal("unknown scheduler policy accepted")
+	}
+	for _, policy := range []string{SchedFIFO, SchedSJF, SchedBackfill} {
+		s := fastSystem(t, WithScheduler(policy))
+		res, err := s.RunBaseline(fastSpec(s, Workload{Model: LeNet5, Dataset: MNIST}))
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if res.Best == nil {
+			t.Fatalf("%s: no best trial", policy)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package pipetune
+
+// Acceptance tests and the regression benchmark for the event-driven trial
+// scheduler: on the Table 3 catalog, RunJob's simulated TuningTime must be
+// no worse than the legacy barrier scheduler's (RunJobBarrier), with an
+// identical best trial under a fixed seed.
+
+import (
+	"testing"
+
+	"pipetune/internal/cluster"
+	"pipetune/internal/dataset"
+	"pipetune/internal/trainer"
+	"pipetune/internal/tune"
+	"pipetune/internal/workload"
+)
+
+// catalogRunner builds a tuner over the paper testbed with a small corpus
+// (simulated durations derive from Table 3's full sizes, not the corpus).
+func catalogRunner() *tune.Runner {
+	tr := trainer.NewRunner()
+	tr.Data = dataset.Config{TrainSize: 128, TestSize: 64}
+	return tune.NewRunner(tr, cluster.Paper())
+}
+
+// catalogSpec is the standard V1 HyperBand job for a catalog workload.
+func catalogSpec(w workload.Workload) tune.JobSpec {
+	h := DefaultHyper()
+	h.Epochs = 4
+	return tune.JobSpec{
+		Workload:    w,
+		Mode:        ModeV1,
+		Objective:   MaximizeAccuracy,
+		HyperSpace:  PaperHyperSpace(),
+		SystemSpace: PaperSystemSpace(),
+		BaseHyper:   h,
+		BaseSys:     DefaultSysConfig(),
+		Seed:        42,
+	}
+}
+
+func TestEventSchedulerNoWorseThanBarrierOnCatalog(t *testing.T) {
+	catalog := Catalog()
+	if testing.Short() {
+		catalog = catalog[:2]
+	}
+	for _, w := range catalog {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			event, err := catalogRunner().RunJob(catalogSpec(w))
+			if err != nil {
+				t.Fatal(err)
+			}
+			barrier, err := catalogRunner().RunJobBarrier(catalogSpec(w))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if event.TuningTime > barrier.TuningTime {
+				t.Fatalf("event TuningTime %v exceeds barrier %v", event.TuningTime, barrier.TuningTime)
+			}
+			if event.Best.ID != barrier.Best.ID || event.Best.Score != barrier.Best.Score {
+				t.Fatalf("best diverged: event %d/%v vs barrier %d/%v",
+					event.Best.ID, event.Best.Score, barrier.Best.ID, barrier.Best.Score)
+			}
+			// Determinism: a second event-driven run reproduces the first.
+			again, err := catalogRunner().RunJob(catalogSpec(w))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again.TuningTime != event.TuningTime || again.Best.ID != event.Best.ID ||
+				again.Best.Score != event.Best.Score {
+				t.Fatalf("same seed diverged: %v/%d vs %v/%d",
+					again.TuningTime, again.Best.ID, event.TuningTime, event.Best.ID)
+			}
+		})
+	}
+}
+
+func BenchmarkSchedulerVsBarrier(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var eventTotal, barrierTotal float64
+		for _, w := range Catalog() {
+			event, err := catalogRunner().RunJob(catalogSpec(w))
+			if err != nil {
+				b.Fatal(err)
+			}
+			barrier, err := catalogRunner().RunJobBarrier(catalogSpec(w))
+			if err != nil {
+				b.Fatal(err)
+			}
+			eventTotal += event.TuningTime
+			barrierTotal += barrier.TuningTime
+		}
+		b.ReportMetric(eventTotal, "event-tuning-s")
+		b.ReportMetric(barrierTotal, "barrier-tuning-s")
+		b.ReportMetric(eventTotal/barrierTotal, "event/barrier-ratio")
+	}
+}
