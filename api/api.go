@@ -1,0 +1,192 @@
+// Package api defines the wire types of the pipetuned HTTP/JSON API. It
+// is shared by the service implementation (internal/service), the Go
+// client (client) and any external consumer that wants to speak the
+// protocol directly.
+//
+// The API surface (all JSON):
+//
+//	POST   /v1/jobs             submit a tuning job        -> JobStatus
+//	GET    /v1/jobs             list jobs                  -> []JobStatus
+//	GET    /v1/jobs/{id}        one job's status/result    -> JobStatus
+//	DELETE /v1/jobs/{id}        cancel a job               -> JobStatus
+//	GET    /v1/jobs/{id}/events stream progress (SSE)      -> Event frames
+//	GET    /v1/groundtruth      shared ground-truth stats  -> GroundTruthStats
+//	GET    /healthz             liveness + queue depths    -> Health
+//
+// Job results are the library's own tune.JobResult serialisation, so a
+// result fetched over HTTP is bit-identical to one produced by calling
+// pipetune.System.RunPipeTune in-process with the same spec, seed AND
+// ground-truth state (e.g. both fresh). The shared database is the one
+// deliberate source of history-dependence: a PipeTune-mode job skips
+// probing on ground-truth hits earlier jobs made possible (§7.4), so
+// resubmitting a job to a daemon that has learned since will — by design
+// — finish faster than its first run.
+package api
+
+import (
+	"fmt"
+	"time"
+
+	"pipetune/internal/tune"
+	"pipetune/internal/workload"
+)
+
+// JobResult aliases the library's job result: the HTTP API returns the
+// exact same serialisation the library produces.
+type JobResult = tune.JobResult
+
+// TrialRecord aliases the library's per-trial record.
+type TrialRecord = tune.TrialRecord
+
+// JobState is a job's lifecycle state. Transitions:
+//
+//	queued -> running -> done | failed
+//	queued -> cancelled            (cancelled while waiting)
+//	running -> cancelled           (cancelled mid-run)
+type JobState string
+
+// Lifecycle states.
+const (
+	StateQueued    JobState = "queued"
+	StateRunning   JobState = "running"
+	StateDone      JobState = "done"
+	StateFailed    JobState = "failed"
+	StateCancelled JobState = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Job modes accepted by JobRequest.Mode.
+const (
+	ModePipeTune = "pipetune" // PipeTune middleware (default)
+	ModeTuneV1   = "tune-v1"  // baseline: hyper only, fixed system config
+	ModeTuneV2   = "tune-v2"  // baseline: system folded into the search space
+)
+
+// Objectives accepted by JobRequest.Objective.
+const (
+	ObjectiveAccuracy        = "accuracy"
+	ObjectiveAccuracyPerTime = "accuracy/time"
+)
+
+// JobRequest is the submission body of POST /v1/jobs.
+type JobRequest struct {
+	// Workload is the "model/dataset" label, e.g. "lenet/mnist" (see
+	// ParseWorkload for the vocabulary).
+	Workload string `json:"workload"`
+	// Mode selects the middleware: "pipetune" (default), "tune-v1" or
+	// "tune-v2".
+	Mode string `json:"mode,omitempty"`
+	// Objective is "accuracy" or "accuracy/time". Empty defaults to
+	// accuracy, except in tune-v2 mode which defaults to accuracy/time
+	// (the paper's V2 semantics).
+	Objective string `json:"objective,omitempty"`
+	// Seed fixes the job's randomness; 0 uses the service's master seed.
+	// Repeat submissions with the same seed replay the same search, but a
+	// PipeTune-mode job's trial durations also depend on the shared
+	// ground-truth state, which grows as the daemon serves jobs.
+	Seed uint64 `json:"seed,omitempty"`
+	// Epochs overrides the full-budget epoch count (0 = service default).
+	Epochs int `json:"epochs,omitempty"`
+	// MaxParallel bounds the job's concurrent trials (0 = cluster-derived).
+	MaxParallel int `json:"maxParallel,omitempty"`
+}
+
+// JobStatus is the canonical job representation returned by every job
+// endpoint.
+type JobStatus struct {
+	ID         string     `json:"id"`
+	State      JobState   `json:"state"`
+	Request    JobRequest `json:"request"`
+	Submitted  time.Time  `json:"submitted"`
+	Started    *time.Time `json:"started,omitempty"`
+	Finished   *time.Time `json:"finished,omitempty"`
+	TrialsDone int        `json:"trialsDone"`
+	Error      string     `json:"error,omitempty"`
+	// Result is set once State is "done".
+	Result *JobResult `json:"result,omitempty"`
+}
+
+// Event is one frame of the GET /v1/jobs/{id}/events stream. Trial events
+// carry Trial; the single terminal state event carries State (and Error
+// when the job failed).
+type Event struct {
+	Type  string      `json:"type"` // "trial" | "state"
+	JobID string      `json:"jobId"`
+	Seq   int         `json:"seq"`
+	Trial *TrialEvent `json:"trial,omitempty"`
+	State JobState    `json:"state,omitempty"`
+	Error string      `json:"error,omitempty"`
+}
+
+// Event types.
+const (
+	EventTrial = "trial"
+	EventState = "state"
+)
+
+// TrialEvent summarises one completed trial, emitted in simulated
+// completion order as the job runs.
+type TrialEvent struct {
+	TrialID  int     `json:"trialId"`
+	Accuracy float64 `json:"accuracy"`
+	Duration float64 `json:"duration"` // simulated seconds
+	EnergyJ  float64 `json:"energyJ"`
+	Epochs   int     `json:"epochs"`
+}
+
+// GroundTruthStats reports the service-wide shared similarity database.
+type GroundTruthStats struct {
+	Entries    int    `json:"entries"`
+	Hits       int    `json:"hits"`
+	Misses     int    `json:"misses"`
+	Rev        uint64 `json:"rev"`
+	Similarity string `json:"similarity"`
+}
+
+// Health is the GET /healthz body.
+type Health struct {
+	Status  string `json:"status"` // always "ok" when the server responds
+	Queued  int    `json:"queued"`
+	Running int    `json:"running"`
+	Workers int    `json:"workers"`
+}
+
+// Error is the JSON error body every non-2xx response carries.
+type Error struct {
+	StatusCode int    `json:"-"`
+	Message    string `json:"error"`
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	return fmt.Sprintf("pipetuned: %s (HTTP %d)", e.Message, e.StatusCode)
+}
+
+// ParseWorkload resolves a "model/dataset" label (the workload.Name()
+// vocabulary: models lenet, cnn, lstm, jacobi, spkmeans, bfs; datasets
+// mnist, fashion, news20, rodinia) to a workload. It accepts any
+// model/dataset combination the simulator can train, not only the seven
+// Table 3 pairings.
+func ParseWorkload(name string) (workload.Workload, error) {
+	models := []workload.Model{
+		workload.LeNet5, workload.CNN, workload.LSTM,
+		workload.Jacobi, workload.SPKMeans, workload.BFS,
+	}
+	datasets := []workload.Dataset{
+		workload.MNIST, workload.FashionMNIST, workload.News20, workload.Rodinia,
+	}
+	for _, m := range models {
+		for _, d := range datasets {
+			w := workload.Workload{Model: m, Dataset: d}
+			if w.Name() == name {
+				return w, nil
+			}
+		}
+	}
+	return workload.Workload{}, fmt.Errorf("api: unknown workload %q (want model/dataset, e.g. %q)",
+		name, workload.Catalog()[0].Name())
+}

@@ -1,0 +1,51 @@
+package api
+
+import (
+	"testing"
+
+	"pipetune/internal/workload"
+)
+
+func TestParseWorkloadCatalog(t *testing.T) {
+	// Every Table 3 workload must round-trip through its Name().
+	for _, w := range workload.Catalog() {
+		got, err := ParseWorkload(w.Name())
+		if err != nil {
+			t.Errorf("ParseWorkload(%q): %v", w.Name(), err)
+			continue
+		}
+		if got != w {
+			t.Errorf("ParseWorkload(%q) = %+v, want %+v", w.Name(), got, w)
+		}
+	}
+}
+
+func TestParseWorkloadOffCatalog(t *testing.T) {
+	// Any model/dataset combination parses, not only the paper pairings.
+	w, err := ParseWorkload("cnn/fashion")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Model != workload.CNN || w.Dataset != workload.FashionMNIST {
+		t.Fatalf("ParseWorkload(cnn/fashion) = %+v", w)
+	}
+}
+
+func TestParseWorkloadRejectsUnknown(t *testing.T) {
+	for _, bad := range []string{"", "lenet", "lenet/", "/mnist", "resnet/imagenet", "lenet mnist"} {
+		if _, err := ParseWorkload(bad); err == nil {
+			t.Errorf("ParseWorkload(%q) accepted", bad)
+		}
+	}
+}
+
+func TestJobStateTerminal(t *testing.T) {
+	for state, terminal := range map[JobState]bool{
+		StateQueued: false, StateRunning: false,
+		StateDone: true, StateFailed: true, StateCancelled: true,
+	} {
+		if state.Terminal() != terminal {
+			t.Errorf("%s.Terminal() = %v", state, state.Terminal())
+		}
+	}
+}

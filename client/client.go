@@ -1,0 +1,219 @@
+// Package client is the Go client for the pipetuned daemon's HTTP/JSON
+// API (package api documents the surface; cmd/pipetuned serves it).
+//
+//	cl := client.New("http://localhost:8080")
+//	st, err := cl.Submit(ctx, api.JobRequest{Workload: "lenet/mnist"})
+//	...
+//	final, err := cl.Wait(ctx, st.ID, 100*time.Millisecond)
+//	fmt.Println(final.Result.Best.Score)
+//
+// Results decoded from the API are the library's own tune.JobResult
+// serialisation: a job submitted over HTTP with a fixed seed yields a
+// Best trial identical to calling pipetune.System.RunPipeTune in-process
+// against the same ground-truth state (the shared database makes job
+// history matter, by design — see package api).
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"pipetune/api"
+)
+
+// Client speaks to one pipetuned endpoint. The zero HTTPClient means
+// http.DefaultClient. Safe for concurrent use.
+type Client struct {
+	BaseURL    string
+	HTTPClient *http.Client
+}
+
+// New returns a client for the daemon at baseURL (e.g.
+// "http://localhost:8080").
+func New(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do issues a request and decodes the JSON response into out; non-2xx
+// responses decode into *api.Error.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		buf, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("client: encode request: %w", err)
+		}
+		rd = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decode %s %s: %w", method, path, err)
+	}
+	return nil
+}
+
+// decodeError turns a non-2xx response into an *api.Error, falling back
+// to the HTTP status line when the body carries no JSON error envelope.
+func decodeError(resp *http.Response) error {
+	apiErr := api.Error{StatusCode: resp.StatusCode}
+	if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil || apiErr.Message == "" {
+		apiErr.Message = resp.Status
+	}
+	return &apiErr
+}
+
+// Submit enqueues a tuning job.
+func (c *Client) Submit(ctx context.Context, req api.JobRequest) (api.JobStatus, error) {
+	var st api.JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &st)
+	return st, err
+}
+
+// Job fetches one job's status (with result once done).
+func (c *Client) Job(ctx context.Context, id string) (api.JobStatus, error) {
+	var st api.JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Jobs lists every job in submission order.
+func (c *Client) Jobs(ctx context.Context) ([]api.JobStatus, error) {
+	var out []api.JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out)
+	return out, err
+}
+
+// Cancel aborts a queued or running job.
+func (c *Client) Cancel(ctx context.Context, id string) (api.JobStatus, error) {
+	var st api.JobStatus
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// GroundTruth reports the service's shared similarity database.
+func (c *Client) GroundTruth(ctx context.Context) (api.GroundTruthStats, error) {
+	var st api.GroundTruthStats
+	err := c.do(ctx, http.MethodGet, "/v1/groundtruth", nil, &st)
+	return st, err
+}
+
+// Health probes the daemon's liveness endpoint.
+func (c *Client) Health(ctx context.Context) (api.Health, error) {
+	var h api.Health
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &h)
+	return h, err
+}
+
+// Wait polls until the job reaches a terminal state and returns the final
+// status. poll <= 0 defaults to 200ms.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (api.JobStatus, error) {
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// ErrStreamTruncated reports an event stream that ended before the job's
+// terminal state event — the server drops subscribers that fall too far
+// behind. The caller can re-Stream (events replay from the start) or fall
+// back to polling Job/Wait.
+var ErrStreamTruncated = errors.New("client: event stream ended before the job finished")
+
+// Stream consumes the job's Server-Sent-Events progress stream, invoking
+// fn for every event (replayed from the job's start). It returns nil when
+// the terminal state event has been delivered, ErrStreamTruncated if the
+// server closed the stream before that (slow-subscriber drop), fn's error
+// if it returns one (propagated), or the context's error on cancellation.
+func (c *Client) Stream(ctx context.Context, id string, fn func(api.Event) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return fmt.Errorf("client: stream %s: %w", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var data []byte
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "data: "):
+			data = append(data, strings.TrimPrefix(line, "data: ")...)
+		case line == "" && len(data) > 0:
+			var ev api.Event
+			if err := json.Unmarshal(data, &ev); err != nil {
+				return fmt.Errorf("client: decode event: %w", err)
+			}
+			data = data[:0]
+			if err := fn(ev); err != nil {
+				return err
+			}
+			if ev.Type == api.EventState && ev.State.Terminal() {
+				return nil
+			}
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return fmt.Errorf("client: stream %s: %w", id, err)
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	// Clean EOF without a terminal state event: the server dropped this
+	// subscriber (or shut the stream early).
+	return fmt.Errorf("%w (job %s)", ErrStreamTruncated, id)
+}

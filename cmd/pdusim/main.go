@@ -13,14 +13,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"strconv"
 	"strings"
 
 	"pipetune/internal/energy"
+	"pipetune/internal/httpserve"
 )
 
 func main() {
@@ -61,7 +64,11 @@ func run() error {
 		}
 	}
 
-	fmt.Printf("pdusim: LINDY iPower Control 2x6M simulator listening on %s\n", *addrFlag)
-	fmt.Printf("pdusim: try  curl 'http://localhost%s/power?outlet=0'\n", *addrFlag)
-	return http.ListenAndServe(*addrFlag, pdu)
+	// Same graceful lifecycle as pipetuned: serve until SIGINT/SIGTERM,
+	// then drain in-flight polls through http.Server.Shutdown.
+	srv := &http.Server{Addr: *addrFlag, Handler: pdu}
+	return httpserve.ListenAndServe(context.Background(), srv, 0, func(addr net.Addr) {
+		fmt.Printf("pdusim: LINDY iPower Control 2x6M simulator listening on %s\n", addr)
+		fmt.Printf("pdusim: try  curl 'http://localhost%s/power?outlet=0'\n", httpserve.Port(addr))
+	})
 }

@@ -1,0 +1,105 @@
+// Command pipetuned is the multi-tenant PipeTune tuning daemon: an
+// HTTP/JSON job API (package api documents the surface) in front of one
+// shared pipetune.System, with a bounded worker pool executing jobs and a
+// single ground-truth similarity database shared across every job and
+// persisted atomically to disk.
+//
+// Usage:
+//
+//	pipetuned [-addr :8080] [-workers 2] [-seed 1] [-gt groundtruth.json]
+//	          [-queue 64] [-bootstrap] [-scheduler fifo]
+//
+// Submit a job and watch it:
+//
+//	curl -s -X POST localhost:8080/v1/jobs -d '{"workload":"lenet/mnist"}'
+//	curl -s localhost:8080/v1/jobs/job-000001
+//	curl -N localhost:8080/v1/jobs/job-000001/events
+//
+// On SIGINT/SIGTERM the HTTP server drains, running jobs are cancelled at
+// their next trial boundary, and the ground truth takes a final snapshot —
+// knowledge accumulated by every tenant survives the restart.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"pipetune"
+	"pipetune/internal/httpserve"
+	"pipetune/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pipetuned:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addrFlag      = flag.String("addr", ":8080", "listen address")
+		workersFlag   = flag.Int("workers", 2, "concurrently running jobs")
+		queueFlag     = flag.Int("queue", 64, "max queued jobs")
+		seedFlag      = flag.Uint64("seed", 1, "master seed for jobs that do not set one")
+		gtFlag        = flag.String("gt", "groundtruth.json", "ground-truth snapshot path (empty disables persistence)")
+		schedFlag     = flag.String("scheduler", pipetune.SchedFIFO, "trial placement policy: fifo, sjf or backfill")
+		bootstrapFlag = flag.Bool("bootstrap", false, "warm-start the ground truth by profiling the Table 3 catalog")
+		drainFlag     = flag.Duration("drain", httpserve.DefaultShutdownTimeout, "graceful-shutdown drain timeout")
+	)
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "pipetuned: ", log.LstdFlags)
+	sys, err := pipetune.New(pipetune.WithSeed(*seedFlag), pipetune.WithScheduler(*schedFlag))
+	if err != nil {
+		return err
+	}
+	svc, err := service.New(service.Config{
+		System:     sys,
+		Workers:    *workersFlag,
+		QueueDepth: *queueFlag,
+		GTPath:     *gtFlag,
+		Logf:       logger.Printf,
+	})
+	if err != nil {
+		return err
+	}
+	if *bootstrapFlag {
+		start := time.Now()
+		if err := sys.Bootstrap(pipetune.Catalog()); err != nil {
+			return err
+		}
+		entries, _, _ := sys.GroundTruthStats()
+		logger.Printf("bootstrap: %d ground-truth entries in %v", entries, time.Since(start).Round(time.Millisecond))
+	}
+
+	srv := &http.Server{Addr: *addrFlag, Handler: svc.Handler()}
+	// Stop the executor as part of the HTTP drain, not after it: open SSE
+	// streams only end when their job turns terminal, so cancelling jobs
+	// must overlap the drain or streaming clients would stall Shutdown
+	// until the drain timeout every time.
+	srv.RegisterOnShutdown(svc.Shutdown)
+	err = httpserve.ListenAndServe(context.Background(), srv, *drainFlag, func(addr net.Addr) {
+		logger.Printf("serving the tuning API on %s (%d workers, gt=%s)", addr, *workersFlag, orNone(*gtFlag))
+		logger.Printf("try  curl -s -X POST localhost%s/v1/jobs -d '{\"workload\":\"lenet/mnist\"}'", httpserve.Port(addr))
+	})
+	// Blocks until the RegisterOnShutdown call (if any) has fully finished;
+	// also covers the listener-error path where no drain ever ran.
+	svc.Shutdown()
+	logger.Printf("stopped")
+	return err
+}
+
+// orNone renders an empty path as "(disabled)" for the startup banner.
+func orNone(path string) string {
+	if path == "" {
+		return "(disabled)"
+	}
+	return path
+}

@@ -24,10 +24,13 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 
@@ -110,6 +113,7 @@ type GroundTruth struct {
 	groupBest []params.SysConfig
 	hits      int
 	misses    int
+	rev       uint64 // bumped on every mutation; lets callers skip no-op snapshots
 }
 
 // NewGroundTruth creates an empty database.
@@ -142,6 +146,15 @@ func (g *GroundTruth) Stats() (hits, misses int) {
 	return g.hits, g.misses
 }
 
+// Rev returns a revision counter that increases on every mutation (Add,
+// Load). Persistence layers compare it against the revision of their last
+// snapshot to skip writes when nothing changed.
+func (g *GroundTruth) Rev() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.rev
+}
+
 // Add stores an entry and re-clusters (§5.6: probing data "is saved to be
 // taken into account once re-clustering is applied").
 func (g *GroundTruth) Add(e Entry) error {
@@ -155,6 +168,7 @@ func (g *GroundTruth) Add(e Entry) error {
 	defer g.mu.Unlock()
 	cp := Entry{Features: append([]float64(nil), e.Features...), BestSys: e.BestSys, Metric: e.Metric}
 	g.entries = append(g.entries, cp)
+	g.rev++
 	g.recluster()
 	return nil
 }
@@ -271,8 +285,67 @@ func (g *GroundTruth) Load(r io.Reader) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.entries = snap.Entries
+	g.rev++
 	g.recluster()
 	return nil
+}
+
+// SaveFile persists the database to path atomically: the snapshot is
+// written to a temporary file in the same directory, synced, and renamed
+// over the target. A crash mid-write therefore never leaves a half-written
+// snapshot at path — readers see either the old complete file or the new
+// one. It returns the revision the snapshot captured.
+func (g *GroundTruth) SaveFile(path string) (rev uint64, err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return 0, fmt.Errorf("core: save ground truth: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	// Marshal under the lock so the entries and the revision agree even
+	// while concurrent jobs keep appending; the disk I/O happens outside
+	// it so snapshots never stall running jobs' lookups.
+	g.mu.Lock()
+	rev = g.rev
+	buf, encErr := json.Marshal(gtSnapshot{Entries: g.entries})
+	g.mu.Unlock()
+	if encErr != nil {
+		err = fmt.Errorf("core: save ground truth: %w", encErr)
+		return 0, err
+	}
+	if _, err = tmp.Write(append(buf, '\n')); err != nil {
+		return 0, fmt.Errorf("core: save ground truth: %w", err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return 0, fmt.Errorf("core: save ground truth: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return 0, fmt.Errorf("core: save ground truth: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return 0, fmt.Errorf("core: save ground truth: %w", err)
+	}
+	return rev, nil
+}
+
+// LoadFile restores the database from a SaveFile snapshot. A missing file
+// is not an error — the database simply stays empty (first boot of a
+// service with a fresh state directory).
+func (g *GroundTruth) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("core: load ground truth: %w", err)
+	}
+	defer f.Close()
+	return g.Load(f)
 }
 
 // DefaultProbeConfigs returns the §5.6 probing grid over the §7.1.4 system
@@ -550,6 +623,14 @@ func New(runner *tune.Runner, seed uint64) *PipeTune {
 // trial's system parameters are tuned in the pipelined fashion of
 // Algorithm 1.
 func (p *PipeTune) RunJob(spec tune.JobSpec) (*tune.JobResult, error) {
+	return p.RunJobCtx(context.Background(), spec)
+}
+
+// RunJobCtx is RunJob with cancellation, forwarded to the tuning event
+// loop. A cancelled job contributes whatever completed trials it already
+// fed to the ground-truth database (knowledge is kept; the job result is
+// not).
+func (p *PipeTune) RunJobCtx(ctx context.Context, spec tune.JobSpec) (*tune.JobResult, error) {
 	if p.Runner == nil || p.GT == nil {
 		return nil, errors.New("core: PipeTune not wired")
 	}
@@ -569,7 +650,7 @@ func (p *PipeTune) RunJob(spec tune.JobSpec) (*tune.JobResult, error) {
 			prevDone(trialID, res)
 		}
 	}
-	return p.Runner.RunJob(spec)
+	return p.Runner.RunJobCtx(ctx, spec)
 }
 
 // Bootstrap warm-starts the ground-truth database by profiling each given

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// gtEntry fabricates a distinguishable entry.
+func gtEntry(i int) Entry {
+	return Entry{
+		Features: []float64{float64(i), float64(i % 7), float64(i % 3), 1},
+		BestSys:  DefaultProbeConfigs()[i%len(DefaultProbeConfigs())],
+		Metric:   0.5 + float64(i%10)/100,
+	}
+}
+
+// TestGroundTruthConcurrentAddSaveLoad hammers one database from many
+// goroutines — adders (concurrent jobs feeding trials), lookups and
+// snapshotters — then verifies a final Save/Load round-trip reproduces the
+// entries exactly.
+func TestGroundTruthConcurrentAddSaveLoad(t *testing.T) {
+	gt := NewGroundTruth(DefaultGroundTruthConfig(), 1)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "gt.json")
+
+	const (
+		adders   = 8
+		perAdder = 25
+	)
+	var wg sync.WaitGroup
+	for a := 0; a < adders; a++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perAdder; i++ {
+				if err := gt.Add(gtEntry(a*perAdder + i)); err != nil {
+					t.Errorf("Add: %v", err)
+					return
+				}
+				// Interleave the operations concurrent jobs perform.
+				gt.Lookup([]float64{float64(i), 1, 2, 3})
+				if i%5 == 0 {
+					if _, err := gt.SaveFile(path); err != nil {
+						t.Errorf("SaveFile: %v", err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := gt.Len(); got != adders*perAdder {
+		t.Fatalf("lost entries under concurrency: %d, want %d", got, adders*perAdder)
+	}
+
+	rev, err := gt.SaveFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev != gt.Rev() {
+		t.Errorf("final snapshot rev %d != database rev %d", rev, gt.Rev())
+	}
+	restored := NewGroundTruth(DefaultGroundTruthConfig(), 1)
+	if err := restored.LoadFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != gt.Len() {
+		t.Fatalf("round-trip lost entries: %d, want %d", restored.Len(), gt.Len())
+	}
+	// Entry-level equality via the stream serialisation.
+	var a, b strings.Builder
+	if err := gt.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("restored database serialises differently from the original")
+	}
+}
+
+// TestGroundTruthSnapshotNeverHalfWritten verifies the write-to-temp +
+// rename protocol: while writers continuously snapshot a mutating
+// database, every read of the target path parses as complete JSON — a
+// reader can never observe a partially written snapshot.
+func TestGroundTruthSnapshotNeverHalfWritten(t *testing.T) {
+	gt := NewGroundTruth(DefaultGroundTruthConfig(), 1)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "gt.json")
+	if _, err := gt.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // writer: grow + snapshot in a tight loop
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := gt.Add(gtEntry(i)); err != nil {
+				t.Errorf("Add: %v", err)
+				return
+			}
+			if _, err := gt.SaveFile(path); err != nil {
+				t.Errorf("SaveFile: %v", err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		buf, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		var snap struct {
+			Entries []Entry `json:"entries"`
+		}
+		if err := json.Unmarshal(buf, &snap); err != nil {
+			t.Fatalf("read %d observed a half-written snapshot: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// The temp files of completed snapshots must all be gone.
+	matches, err := filepath.Glob(filepath.Join(dir, "*.tmp-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Errorf("leftover temp files after snapshots: %v", matches)
+	}
+}
+
+// TestGroundTruthSaveFileFailureLeavesTargetIntact points SaveFile at an
+// unwritable location and checks the existing snapshot is untouched.
+func TestGroundTruthSaveFileFailureLeavesTargetIntact(t *testing.T) {
+	gt := NewGroundTruth(DefaultGroundTruthConfig(), 1)
+	if err := gt.Add(gtEntry(1)); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "gt.json")
+	if _, err := gt.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gt.SaveFile(filepath.Join(dir, "missing", "gt.json")); err == nil {
+		t.Fatal("SaveFile into a missing directory succeeded")
+	}
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Error("failed SaveFile disturbed the existing snapshot")
+	}
+}
+
+// TestGroundTruthLoadFileMissing verifies first-boot semantics: a missing
+// snapshot is not an error and leaves the database empty.
+func TestGroundTruthLoadFileMissing(t *testing.T) {
+	gt := NewGroundTruth(DefaultGroundTruthConfig(), 1)
+	if err := gt.LoadFile(filepath.Join(t.TempDir(), "absent.json")); err != nil {
+		t.Fatalf("missing snapshot: %v", err)
+	}
+	if gt.Len() != 0 {
+		t.Fatalf("empty boot has %d entries", gt.Len())
+	}
+}
+
+// TestGroundTruthRev checks the revision counter advances on every
+// mutation and is stable across reads.
+func TestGroundTruthRev(t *testing.T) {
+	gt := NewGroundTruth(DefaultGroundTruthConfig(), 1)
+	if gt.Rev() != 0 {
+		t.Fatalf("fresh rev = %d", gt.Rev())
+	}
+	for i := 1; i <= 3; i++ {
+		if err := gt.Add(gtEntry(i)); err != nil {
+			t.Fatal(err)
+		}
+		if gt.Rev() != uint64(i) {
+			t.Fatalf("rev after %d adds = %d", i, gt.Rev())
+		}
+	}
+	var buf strings.Builder
+	if err := gt.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if gt.Rev() != 3 {
+		t.Errorf("Save mutated rev to %d", gt.Rev())
+	}
+	if err := gt.Load(strings.NewReader(buf.String())); err != nil {
+		t.Fatal(err)
+	}
+	if gt.Rev() != 4 {
+		t.Errorf("rev after Load = %d, want 4", gt.Rev())
+	}
+}
+
+// BenchmarkGroundTruthSaveFile measures the atomic snapshot cost at a
+// realistic database size.
+func BenchmarkGroundTruthSaveFile(b *testing.B) {
+	gt := NewGroundTruth(DefaultGroundTruthConfig(), 1)
+	for i := 0; i < 256; i++ {
+		if err := gt.Add(gtEntry(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	path := filepath.Join(b.TempDir(), "gt.json")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gt.SaveFile(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	fi, err := os.Stat(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(fi.Size()), "bytes/snapshot")
+}

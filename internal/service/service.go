@@ -1,0 +1,556 @@
+// Package service is the multi-tenant tuning service behind the pipetuned
+// daemon: a job registry with explicit lifecycle states, bounded
+// concurrent execution of jobs over one shared pipetune.System, per-job
+// progress streams, and a single ground-truth database shared across all
+// jobs and persisted atomically to disk.
+//
+// This is the paper's deployment model (§5, §7.1.2): PipeTune is cluster
+// middleware that tenants submit tuning jobs to, and the ground-truth
+// similarity database accumulates across jobs and tenants — a job
+// submitted today skips probing because of a job another tenant ran
+// yesterday.
+//
+// Lifecycle: Submit validates the request and enqueues the job (queued);
+// a worker picks it up (running); the run ends in done, failed or
+// cancelled. Cancel aborts a queued job immediately and interrupts a
+// running one at its next trial boundary via context cancellation.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"pipetune"
+	"pipetune/api"
+	"pipetune/internal/core"
+	"pipetune/internal/trainer"
+	"pipetune/internal/tune"
+)
+
+// Errors surfaced to the HTTP layer.
+var (
+	ErrNotFound   = errors.New("service: job not found")
+	ErrTerminal   = errors.New("service: job already finished")
+	ErrQueueFull  = errors.New("service: job queue full")
+	ErrShutdown   = errors.New("service: shutting down")
+	ErrBadRequest = errors.New("service: invalid request")
+)
+
+// Config wires a Service.
+type Config struct {
+	// System executes the jobs; all jobs share its cluster, trainer and
+	// ground-truth database. Required.
+	System *pipetune.System
+	// Workers bounds concurrently running jobs (default 2).
+	Workers int
+	// QueueDepth bounds jobs waiting in queued state (default 64).
+	QueueDepth int
+	// GTPath, when non-empty, persists the shared ground-truth database:
+	// loaded at New, snapshotted (atomically, write-to-temp + rename)
+	// after every job that grew it and again at Shutdown.
+	GTPath string
+	// MaxJobsRetained bounds the registry: when the job count exceeds it,
+	// the oldest terminal jobs (status, result and event log) are evicted
+	// so a long-running daemon's memory stays flat. Queued and running
+	// jobs are never evicted. Default 1024.
+	MaxJobsRetained int
+	// Logf receives operational log lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// subscriber is one live event stream over a job.
+type subscriber struct {
+	ch chan api.Event
+}
+
+// job is the registry's unit: request, state machine, result, event log.
+type job struct {
+	id        string
+	req       api.JobRequest
+	spec      tune.JobSpec
+	mode      string
+	state     api.JobState
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	errMsg    string
+	result    *tune.JobResult
+	trials    int
+	cancel    context.CancelFunc // non-nil while running
+	events    []api.Event        // replay log for late subscribers
+	subs      map[*subscriber]struct{}
+}
+
+// Service is the job registry and executor.
+type Service struct {
+	cfg      Config
+	gt       *core.GroundTruth
+	queue    chan *job
+	wg       sync.WaitGroup
+	baseCtx  context.Context
+	stop     context.CancelFunc
+	shutdown sync.Once
+
+	// saveMu serialises ground-truth snapshots: without it two jobs
+	// finishing together could rename an older snapshot over a newer one
+	// (encode order and rename order are not otherwise coupled).
+	saveMu   sync.Mutex
+	savedRev uint64 // guarded by saveMu
+
+	mu      sync.Mutex
+	jobs    map[string]*job
+	order   []string // submission order, for stable listing
+	nextID  int
+	running int
+	closed  bool
+}
+
+// New builds the service, restores the ground-truth snapshot from
+// Config.GTPath if one exists, and starts the worker pool.
+func New(cfg Config) (*Service, error) {
+	if cfg.System == nil {
+		return nil, errors.New("service: Config.System is required")
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.MaxJobsRetained <= 0 {
+		cfg.MaxJobsRetained = 1024
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	s := &Service{
+		cfg:   cfg,
+		gt:    cfg.System.GroundTruth(),
+		queue: make(chan *job, cfg.QueueDepth),
+		jobs:  make(map[string]*job),
+	}
+	s.baseCtx, s.stop = context.WithCancel(context.Background())
+	if cfg.GTPath != "" {
+		if err := s.gt.LoadFile(cfg.GTPath); err != nil {
+			return nil, err
+		}
+		s.savedRev = s.gt.Rev()
+		if n := s.gt.Len(); n > 0 {
+			cfg.Logf("service: restored ground truth from %s (%d entries)", cfg.GTPath, n)
+		}
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// buildSpec translates an API request into a library JobSpec, mirroring
+// exactly what a library caller gets from System.JobSpec — the invariant
+// behind the HTTP-versus-library determinism guarantee.
+func (s *Service) buildSpec(req api.JobRequest) (tune.JobSpec, string, error) {
+	w, err := api.ParseWorkload(req.Workload)
+	if err != nil {
+		return tune.JobSpec{}, "", fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	mode := req.Mode
+	if mode == "" {
+		mode = api.ModePipeTune
+	}
+	spec := s.cfg.System.JobSpec(w)
+	switch mode {
+	case api.ModePipeTune, api.ModeTuneV1:
+		// JobSpec defaults are V1; PipeTune layers the middleware on top.
+	case api.ModeTuneV2:
+		spec.Mode = tune.ModeV2
+		spec.Objective = tune.MaximizeAccuracyPerTime
+	default:
+		return tune.JobSpec{}, "", fmt.Errorf("%w: unknown mode %q", ErrBadRequest, req.Mode)
+	}
+	switch req.Objective {
+	case "":
+	case api.ObjectiveAccuracy:
+		spec.Objective = tune.MaximizeAccuracy
+	case api.ObjectiveAccuracyPerTime:
+		spec.Objective = tune.MaximizeAccuracyPerTime
+	default:
+		return tune.JobSpec{}, "", fmt.Errorf("%w: unknown objective %q", ErrBadRequest, req.Objective)
+	}
+	if req.Seed != 0 {
+		spec.Seed = req.Seed
+	}
+	if req.Epochs < 0 || req.MaxParallel < 0 {
+		return tune.JobSpec{}, "", fmt.Errorf("%w: negative epochs/maxParallel", ErrBadRequest)
+	}
+	if req.Epochs > 0 {
+		spec.BaseHyper.Epochs = req.Epochs
+	}
+	if req.MaxParallel > 0 {
+		spec.MaxParallel = req.MaxParallel
+	}
+	return spec, mode, nil
+}
+
+// Submit validates and enqueues a job, returning its queued status.
+func (s *Service) Submit(req api.JobRequest) (api.JobStatus, error) {
+	spec, mode, err := s.buildSpec(req)
+	if err != nil {
+		return api.JobStatus{}, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return api.JobStatus{}, ErrShutdown
+	}
+	s.nextID++
+	jb := &job{
+		id:        fmt.Sprintf("job-%06d", s.nextID),
+		req:       req,
+		spec:      spec,
+		mode:      mode,
+		state:     api.StateQueued,
+		submitted: time.Now().UTC(),
+		subs:      make(map[*subscriber]struct{}),
+	}
+	select {
+	case s.queue <- jb:
+	default:
+		s.mu.Unlock()
+		return api.JobStatus{}, ErrQueueFull
+	}
+	s.jobs[jb.id] = jb
+	s.order = append(s.order, jb.id)
+	st := s.statusLocked(jb)
+	s.mu.Unlock()
+	s.cfg.Logf("service: %s queued (%s %s)", jb.id, mode, req.Workload)
+	return st, nil
+}
+
+// worker drains the queue until Shutdown closes it.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for jb := range s.queue {
+		s.runJob(jb)
+	}
+}
+
+// runJob executes one job through the shared System, driving the state
+// machine and the event stream.
+func (s *Service) runJob(jb *job) {
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	s.mu.Lock()
+	if jb.state != api.StateQueued { // cancelled while waiting
+		s.mu.Unlock()
+		cancel()
+		return
+	}
+	jb.state = api.StateRunning
+	jb.started = time.Now().UTC()
+	jb.cancel = cancel
+	s.running++
+	spec := jb.spec
+	s.mu.Unlock()
+
+	spec.OnTrialDone = func(trialID int, res *trainer.Result) {
+		s.publishTrial(jb, trialID, res)
+	}
+	var (
+		res *tune.JobResult
+		err error
+	)
+	if jb.mode == api.ModePipeTune {
+		res, err = s.cfg.System.RunPipeTuneCtx(ctx, spec)
+	} else {
+		res, err = s.cfg.System.RunBaselineCtx(ctx, spec)
+	}
+	cancel()
+	// Snapshot before the job turns terminal: a client that observes
+	// "done" may rely on the job's ground-truth contributions being
+	// durable already.
+	s.snapshotGT()
+
+	s.mu.Lock()
+	jb.cancel = nil
+	s.running--
+	switch {
+	case err == nil:
+		jb.result = res
+		s.finishLocked(jb, api.StateDone, "")
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		s.finishLocked(jb, api.StateCancelled, "")
+	default:
+		s.finishLocked(jb, api.StateFailed, err.Error())
+	}
+	state := jb.state
+	s.mu.Unlock()
+
+	s.cfg.Logf("service: %s %s", jb.id, state)
+}
+
+// snapshotGT persists the shared ground truth if it changed since the last
+// snapshot. saveMu makes snapshots strictly ordered — a newer on-disk
+// snapshot is never replaced by an older one. Failures are logged, never
+// fatal: a missed snapshot degrades warm-start, not correctness.
+func (s *Service) snapshotGT() {
+	if s.cfg.GTPath == "" {
+		return
+	}
+	s.saveMu.Lock()
+	defer s.saveMu.Unlock()
+	if s.gt.Rev() == s.savedRev {
+		return
+	}
+	rev, err := s.gt.SaveFile(s.cfg.GTPath)
+	if err != nil {
+		s.cfg.Logf("service: ground-truth snapshot failed: %v", err)
+		return
+	}
+	if rev > s.savedRev {
+		s.savedRev = rev
+	}
+}
+
+// publishTrial appends a trial event to the job's log and fans it out.
+func (s *Service) publishTrial(jb *job, trialID int, res *trainer.Result) {
+	ev := api.Event{
+		Type:  api.EventTrial,
+		JobID: jb.id,
+		Trial: &api.TrialEvent{
+			TrialID:  trialID,
+			Accuracy: res.Accuracy,
+			Duration: res.Duration,
+			EnergyJ:  res.EnergyJ,
+			Epochs:   len(res.Epochs),
+		},
+	}
+	s.mu.Lock()
+	jb.trials++
+	s.appendEventLocked(jb, ev)
+	s.mu.Unlock()
+}
+
+// finishLocked atomically moves a job to a terminal state: the state
+// flip, the terminal event append and the stream closures happen in one
+// critical section, so a Subscribe can never observe a terminal job whose
+// replay lacks the terminal event. Callers hold s.mu.
+func (s *Service) finishLocked(jb *job, state api.JobState, errMsg string) {
+	jb.state = state
+	jb.errMsg = errMsg
+	jb.finished = time.Now().UTC()
+	s.appendEventLocked(jb, api.Event{Type: api.EventState, JobID: jb.id, State: state, Error: errMsg})
+	for sub := range jb.subs {
+		close(sub.ch)
+		delete(jb.subs, sub)
+	}
+	s.pruneLocked()
+}
+
+// appendEventLocked sequences the event into the replay log and delivers
+// it to live subscribers. A subscriber too slow to drain its buffer is
+// dropped (its channel closes early; it can re-subscribe and replay).
+// Callers hold s.mu.
+func (s *Service) appendEventLocked(jb *job, ev api.Event) {
+	ev.Seq = len(jb.events) + 1
+	jb.events = append(jb.events, ev)
+	for sub := range jb.subs {
+		select {
+		case sub.ch <- ev:
+		default:
+			close(sub.ch)
+			delete(jb.subs, sub)
+		}
+	}
+}
+
+// pruneLocked evicts the oldest terminal jobs once the registry exceeds
+// MaxJobsRetained, keeping a long-running daemon's memory flat. Callers
+// hold s.mu.
+func (s *Service) pruneLocked() {
+	if len(s.jobs) <= s.cfg.MaxJobsRetained {
+		return
+	}
+	kept := s.order[:0]
+	for i, id := range s.order {
+		jb := s.jobs[id]
+		if len(s.jobs) > s.cfg.MaxJobsRetained && jb.state.Terminal() {
+			delete(s.jobs, id)
+			continue
+		}
+		kept = append(kept, id)
+		if len(s.jobs) <= s.cfg.MaxJobsRetained {
+			kept = append(kept, s.order[i+1:]...)
+			break
+		}
+	}
+	s.order = kept
+}
+
+// Subscribe opens an event stream over a job: the replay of everything
+// already emitted, plus a live channel that closes after the terminal
+// state event (or when cancel is called, or if the subscriber falls too
+// far behind). For already-finished jobs the channel arrives closed and
+// the replay is complete.
+func (s *Service) Subscribe(id string) (replay []api.Event, live <-chan api.Event, cancel func(), err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	jb, ok := s.jobs[id]
+	if !ok {
+		return nil, nil, nil, ErrNotFound
+	}
+	replay = append([]api.Event(nil), jb.events...)
+	sub := &subscriber{ch: make(chan api.Event, 256)}
+	if jb.state.Terminal() {
+		close(sub.ch)
+		return replay, sub.ch, func() {}, nil
+	}
+	jb.subs[sub] = struct{}{}
+	cancel = func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if _, live := jb.subs[sub]; live {
+			close(sub.ch)
+			delete(jb.subs, sub)
+		}
+	}
+	return replay, sub.ch, cancel, nil
+}
+
+// statusLocked renders a job's API view. Callers hold s.mu.
+func (s *Service) statusLocked(jb *job) api.JobStatus {
+	st := api.JobStatus{
+		ID:         jb.id,
+		State:      jb.state,
+		Request:    jb.req,
+		Submitted:  jb.submitted,
+		TrialsDone: jb.trials,
+		Error:      jb.errMsg,
+	}
+	if !jb.started.IsZero() {
+		t := jb.started
+		st.Started = &t
+	}
+	if !jb.finished.IsZero() {
+		t := jb.finished
+		st.Finished = &t
+	}
+	if jb.state == api.StateDone {
+		st.Result = jb.result
+	}
+	return st
+}
+
+// Job returns one job's status (with result once done).
+func (s *Service) Job(id string) (api.JobStatus, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	jb, ok := s.jobs[id]
+	if !ok {
+		return api.JobStatus{}, ErrNotFound
+	}
+	return s.statusLocked(jb), nil
+}
+
+// Jobs lists every job in submission order.
+func (s *Service) Jobs() []api.JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]api.JobStatus, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.statusLocked(s.jobs[id]))
+	}
+	return out
+}
+
+// Cancel aborts a job: queued jobs transition to cancelled immediately,
+// running jobs are interrupted at their next trial boundary (the status
+// returned may therefore still read "running"; poll or subscribe for the
+// terminal event). Cancelling a finished job returns ErrTerminal.
+func (s *Service) Cancel(id string) (api.JobStatus, error) {
+	s.mu.Lock()
+	jb, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return api.JobStatus{}, ErrNotFound
+	}
+	switch {
+	case jb.state.Terminal():
+		st := s.statusLocked(jb)
+		s.mu.Unlock()
+		return st, ErrTerminal
+	case jb.state == api.StateQueued:
+		s.finishLocked(jb, api.StateCancelled, "")
+		st := s.statusLocked(jb)
+		s.mu.Unlock()
+		s.cfg.Logf("service: %s cancelled while queued", id)
+		return st, nil
+	default: // running
+		if jb.cancel != nil {
+			jb.cancel()
+		}
+		st := s.statusLocked(jb)
+		s.mu.Unlock()
+		return st, nil
+	}
+}
+
+// GroundTruthStats reports the shared similarity database.
+func (s *Service) GroundTruthStats() api.GroundTruthStats {
+	hits, misses := s.gt.Stats()
+	return api.GroundTruthStats{
+		Entries:    s.gt.Len(),
+		Hits:       hits,
+		Misses:     misses,
+		Rev:        s.gt.Rev(),
+		Similarity: s.gt.SimilarityName(),
+	}
+}
+
+// Health reports queue depths for the liveness endpoint.
+func (s *Service) Health() api.Health {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	queued := 0
+	for _, jb := range s.jobs {
+		if jb.state == api.StateQueued {
+			queued++
+		}
+	}
+	return api.Health{Status: "ok", Queued: queued, Running: s.running, Workers: s.cfg.Workers}
+}
+
+// Shutdown stops the service: no new submissions, running jobs are
+// cancelled at their next trial boundary, workers drain, and the shared
+// ground truth takes its final snapshot. Knowledge that cancelled jobs
+// already contributed to the database survives in that snapshot.
+// Idempotent and blocking: every caller returns only once the shutdown —
+// whoever initiated it — has fully completed (sync.Once.Do blocks
+// latecomers), which lets it run both from http.Server.RegisterOnShutdown
+// and again from the daemon's main goroutine.
+func (s *Service) Shutdown() {
+	s.shutdown.Do(func() {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+
+		s.stop()        // interrupt running jobs
+		close(s.queue)  // let workers exit after draining
+		s.wg.Wait()     // workers finish their current (now cancelled) jobs
+		s.drainQueued() // jobs still queued become cancelled
+		s.snapshotGT()  // final snapshot
+	})
+}
+
+// drainQueued marks never-started jobs cancelled after the workers exit.
+func (s *Service) drainQueued() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, jb := range s.jobs {
+		if jb.state == api.StateQueued {
+			s.finishLocked(jb, api.StateCancelled, "")
+		}
+	}
+}

@@ -1,0 +1,442 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"pipetune"
+	"pipetune/api"
+	"pipetune/client"
+)
+
+// newSystem builds a small fast System for tests.
+func newSystem(t *testing.T, opts ...pipetune.Option) *pipetune.System {
+	t.Helper()
+	sys, err := pipetune.New(append([]pipetune.Option{
+		pipetune.WithSeed(42), pipetune.WithCorpusSize(128, 64),
+	}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// newServer wires a Service over a fresh System behind an httptest server
+// and returns a client speaking to it.
+func newServer(t *testing.T, cfg Config) (*Service, *client.Client) {
+	t.Helper()
+	if cfg.System == nil {
+		cfg.System = newSystem(t)
+	}
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Shutdown()
+	})
+	return svc, client.New(srv.URL)
+}
+
+// smallReq keeps API-path jobs quick: few epochs, tight parallelism.
+func smallReq(workload string) api.JobRequest {
+	return api.JobRequest{Workload: workload, Seed: 7, Epochs: 3}
+}
+
+// TestEndToEndDeterminism is the acceptance-criteria test: submitting a
+// Table 3 workload through the HTTP API with a fixed seed yields a
+// JobResult.Best identical (bit-for-bit in its JSON serialisation) to
+// running the same spec through System.RunPipeTune in-process.
+func TestEndToEndDeterminism(t *testing.T) {
+	_, cl := newServer(t, Config{})
+	ctx := context.Background()
+
+	req := smallReq("lenet/mnist")
+	st, err := cl.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != api.StateQueued {
+		t.Fatalf("submitted job state = %v, want queued", st.State)
+	}
+	final, err := cl.Wait(ctx, st.ID, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != api.StateDone {
+		t.Fatalf("job ended %v (err %q), want done", final.State, final.Error)
+	}
+	if final.Result == nil || final.Result.Best == nil {
+		t.Fatal("done job has no result")
+	}
+
+	// Library path: a fresh identical System, the same spec the service
+	// builds from the request.
+	sys := newSystem(t)
+	w, err := api.ParseWorkload(req.Workload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := sys.JobSpec(w)
+	spec.Seed = req.Seed
+	spec.BaseHyper.Epochs = req.Epochs
+	libRes, err := sys.RunPipeTune(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	apiBest, err := json.Marshal(final.Result.Best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	libBest, err := json.Marshal(libRes.Best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(apiBest) != string(libBest) {
+		t.Errorf("HTTP best != library best\n http: %s\n lib:  %s", apiBest, libBest)
+	}
+	if final.Result.TuningTime != libRes.TuningTime {
+		t.Errorf("TuningTime: http %v != lib %v", final.Result.TuningTime, libRes.TuningTime)
+	}
+	if len(final.Result.Trials) != len(libRes.Trials) {
+		t.Errorf("trial count: http %d != lib %d", len(final.Result.Trials), len(libRes.Trials))
+	}
+}
+
+// TestConcurrentJobsShareGroundTruth submits two different workloads
+// concurrently: both must complete, and the shared ground-truth store must
+// show cross-job reuse — a warm database produces hits for a job that
+// never probed those profiles itself.
+func TestConcurrentJobsShareGroundTruth(t *testing.T) {
+	_, cl := newServer(t, Config{Workers: 2})
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	finals := make([]api.JobStatus, 2)
+	errs := make([]error, 2)
+	for i, wl := range []string{"lenet/mnist", "cnn/mnist"} {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st, err := cl.Submit(ctx, smallReq(wl))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			finals[i], errs[i] = cl.Wait(ctx, st.ID, 20*time.Millisecond)
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if finals[i].State != api.StateDone {
+			t.Fatalf("job %d ended %v (err %q), want done", i, finals[i].State, finals[i].Error)
+		}
+	}
+	gtAfterTwo, err := cl.GroundTruth(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gtAfterTwo.Entries == 0 {
+		t.Fatal("shared ground truth empty after two PipeTune jobs")
+	}
+
+	// Cross-job reuse: a third job over an already-seen workload should
+	// land ground-truth hits accumulated from the earlier tenants.
+	st, err := cl.Submit(ctx, smallReq("lenet/mnist"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := cl.Wait(ctx, st.ID, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != api.StateDone {
+		t.Fatalf("third job ended %v, want done", final.State)
+	}
+	gtAfterThree, err := cl.GroundTruth(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gtAfterThree.Hits <= gtAfterTwo.Hits {
+		t.Errorf("no cross-job ground-truth hits: %d after warm job, %d before",
+			gtAfterThree.Hits, gtAfterTwo.Hits)
+	}
+}
+
+// TestEventStream verifies SSE delivery: every trial event arrives in
+// sequence, the stream terminates with the job's terminal state, and the
+// count matches the job's TrialsDone.
+func TestEventStream(t *testing.T) {
+	_, cl := newServer(t, Config{})
+	ctx := context.Background()
+
+	st, err := cl.Submit(ctx, smallReq("lenet/mnist"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		trials    int
+		lastSeq   int
+		terminal  api.JobState
+		streamErr = cl.Stream(ctx, st.ID, func(ev api.Event) error {
+			if ev.Seq != lastSeq+1 {
+				t.Errorf("event seq %d after %d", ev.Seq, lastSeq)
+			}
+			lastSeq = ev.Seq
+			switch ev.Type {
+			case api.EventTrial:
+				if ev.Trial == nil {
+					t.Error("trial event without trial payload")
+				}
+				trials++
+			case api.EventState:
+				terminal = ev.State
+			}
+			return nil
+		})
+	)
+	if streamErr != nil {
+		t.Fatal(streamErr)
+	}
+	if terminal != api.StateDone {
+		t.Fatalf("stream terminal state %v, want done", terminal)
+	}
+	if trials == 0 {
+		t.Fatal("stream delivered no trial events")
+	}
+	final, err := cl.Job(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.TrialsDone != trials {
+		t.Errorf("streamed %d trials, status reports %d", trials, final.TrialsDone)
+	}
+	// A late subscriber replays the whole history.
+	replayed := 0
+	if err := cl.Stream(ctx, st.ID, func(api.Event) error { replayed++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if replayed != lastSeq {
+		t.Errorf("late replay delivered %d events, want %d", replayed, lastSeq)
+	}
+}
+
+// TestCancelRunning interrupts a job mid-run: the full-size corpus keeps
+// the first HyperBand batch busy long enough that a cancel lands before
+// the job can finish, and the job must end cancelled, not done.
+func TestCancelRunning(t *testing.T) {
+	sys, err := pipetune.New(pipetune.WithSeed(42)) // default (large) corpus
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cl := newServer(t, Config{System: sys})
+	ctx := context.Background()
+
+	st, err := cl.Submit(ctx, api.JobRequest{Workload: "lstm/news20", Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		cur, err := cl.Job(ctx, st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.State == api.StateRunning {
+			break
+		}
+		if cur.State.Terminal() {
+			t.Fatalf("job reached %v before it could be cancelled", cur.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started running")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := cl.Cancel(ctx, st.ID); err != nil {
+		t.Fatal(err)
+	}
+	final, err := cl.Wait(ctx, st.ID, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != api.StateCancelled {
+		t.Fatalf("cancelled job ended %v, want cancelled", final.State)
+	}
+	if final.Result != nil {
+		t.Error("cancelled job carries a result")
+	}
+	// Cancelling again is a conflict.
+	if _, err := cl.Cancel(ctx, st.ID); err == nil {
+		t.Error("second cancel succeeded, want conflict")
+	} else if apiErr := new(api.Error); !errors.As(err, &apiErr) || apiErr.StatusCode != 409 {
+		t.Errorf("second cancel error = %v, want HTTP 409", err)
+	}
+}
+
+// TestCancelQueued cancels a job that never started: Workers=1 keeps the
+// second submission queued behind the first.
+func TestCancelQueued(t *testing.T) {
+	svc, cl := newServer(t, Config{Workers: 1})
+	ctx := context.Background()
+
+	first, err := cl.Submit(ctx, smallReq("lenet/mnist"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := cl.Submit(ctx, smallReq("cnn/mnist"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The worker is busy with the first job (or about to be); cancelling
+	// the second must work regardless of whether it is still queued.
+	st, err := cl.Cancel(ctx, second.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != api.StateCancelled && st.State != api.StateRunning {
+		t.Fatalf("cancel returned state %v", st.State)
+	}
+	final, err := cl.Wait(ctx, second.ID, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != api.StateCancelled {
+		t.Fatalf("queued-cancelled job ended %v, want cancelled", final.State)
+	}
+	if _, err := cl.Wait(ctx, first.ID, 20*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	_ = svc
+}
+
+// TestAPIErrors covers the error surface: bad workload, unknown job,
+// unknown mode.
+func TestAPIErrors(t *testing.T) {
+	_, cl := newServer(t, Config{})
+	ctx := context.Background()
+
+	cases := []struct {
+		req  api.JobRequest
+		code int
+	}{
+		{api.JobRequest{Workload: "resnet/imagenet"}, 400},
+		{api.JobRequest{Workload: "lenet/mnist", Mode: "warp"}, 400},
+		{api.JobRequest{Workload: "lenet/mnist", Objective: "loss"}, 400},
+	}
+	for _, tc := range cases {
+		_, err := cl.Submit(ctx, tc.req)
+		apiErr := new(api.Error)
+		if !errors.As(err, &apiErr) || apiErr.StatusCode != tc.code {
+			t.Errorf("Submit(%+v) error = %v, want HTTP %d", tc.req, err, tc.code)
+		}
+	}
+	if _, err := cl.Job(ctx, "job-999999"); err == nil {
+		t.Error("unknown job id returned no error")
+	} else if apiErr := new(api.Error); !errors.As(err, &apiErr) || apiErr.StatusCode != 404 {
+		t.Errorf("unknown job error = %v, want HTTP 404", err)
+	}
+	h, err := cl.Health(ctx)
+	if err != nil || h.Status != "ok" {
+		t.Errorf("health = %+v, %v", h, err)
+	}
+}
+
+// TestGroundTruthPersistenceAcrossRestart runs a job with persistence
+// enabled, then boots a second service from the same state directory and
+// checks the warm-started database is visible over the API.
+func TestGroundTruthPersistenceAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	gtPath := filepath.Join(dir, "gt.json")
+
+	svc1, cl1 := newServer(t, Config{GTPath: gtPath})
+	ctx := context.Background()
+	st, err := cl1.Submit(ctx, smallReq("lenet/mnist"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := cl1.Wait(ctx, st.ID, 20*time.Millisecond)
+	if err != nil || final.State != api.StateDone {
+		t.Fatalf("job: %v state %v", err, final.State)
+	}
+	gt1 := svc1.GroundTruthStats()
+	if gt1.Entries == 0 {
+		t.Fatal("job produced no ground-truth entries")
+	}
+	// Snapshot-on-change already wrote the file (runJob snapshots after
+	// every job that grew the database).
+	if _, err := os.Stat(gtPath); err != nil {
+		t.Fatalf("no snapshot after job completion: %v", err)
+	}
+	svc1.Shutdown()
+
+	svc2, cl2 := newServer(t, Config{GTPath: gtPath})
+	defer svc2.Shutdown()
+	gt2, err := cl2.GroundTruth(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gt2.Entries != gt1.Entries {
+		t.Errorf("restart restored %d entries, want %d", gt2.Entries, gt1.Entries)
+	}
+}
+
+// TestJobRetention verifies the registry stays bounded: once the job
+// count exceeds MaxJobsRetained, the oldest terminal jobs are evicted
+// (404 afterwards) while newer ones remain queryable.
+func TestJobRetention(t *testing.T) {
+	_, cl := newServer(t, Config{Workers: 1, MaxJobsRetained: 2})
+	ctx := context.Background()
+
+	var ids []string
+	for i := 0; i < 4; i++ {
+		st, err := cl.Submit(ctx, smallReq("lenet/mnist"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Wait(ctx, st.ID, 10*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	jobs, err := cl.Jobs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) > 2 {
+		t.Fatalf("registry holds %d jobs, cap is 2", len(jobs))
+	}
+	if _, err := cl.Job(ctx, ids[0]); err == nil {
+		t.Error("oldest job still queryable past the retention cap")
+	}
+	if _, err := cl.Job(ctx, ids[len(ids)-1]); err != nil {
+		t.Errorf("newest job evicted: %v", err)
+	}
+}
+
+// TestSubmitAfterShutdown verifies the service refuses work once stopped.
+func TestSubmitAfterShutdown(t *testing.T) {
+	svc, cl := newServer(t, Config{})
+	ctx := context.Background()
+	svc.Shutdown()
+	_, err := cl.Submit(ctx, smallReq("lenet/mnist"))
+	apiErr := new(api.Error)
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != 503 {
+		t.Fatalf("submit after shutdown = %v, want HTTP 503", err)
+	}
+	// Shutdown is idempotent.
+	svc.Shutdown()
+}

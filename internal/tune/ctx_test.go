@@ -1,0 +1,102 @@
+package tune
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"pipetune/internal/cluster"
+	"pipetune/internal/dataset"
+	"pipetune/internal/params"
+	"pipetune/internal/trainer"
+	"pipetune/internal/workload"
+)
+
+// ctxRunner builds a small runner for cancellation tests.
+func ctxRunner() *Runner {
+	tr := trainer.NewRunner()
+	tr.Data = dataset.Config{TrainSize: 128, TestSize: 64}
+	return NewRunner(tr, cluster.Paper())
+}
+
+// ctxSpec is a minimal valid V1 spec.
+func ctxSpec() JobSpec {
+	h := params.DefaultHyper()
+	h.Epochs = 3
+	return JobSpec{
+		Workload:   workload.Workload{Model: workload.LeNet5, Dataset: workload.MNIST},
+		Mode:       ModeV1,
+		Objective:  MaximizeAccuracy,
+		HyperSpace: params.PaperHyperSpace(),
+		BaseHyper:  h,
+		BaseSys:    params.DefaultSysConfig(),
+		Seed:       11,
+	}
+}
+
+// TestRunJobCtxPreCancelled verifies an already-cancelled context aborts
+// before any trial runs, surfacing context.Canceled.
+func TestRunJobCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := ctxRunner().RunJobCtx(ctx, ctxSpec())
+	if res != nil {
+		t.Fatal("cancelled job returned a result")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunJobCtxCancelMidRun cancels from the first trial-completion hook:
+// the event loop must stop at the next batch boundary instead of running
+// the remaining HyperBand rungs, and the error must be context.Canceled.
+func TestRunJobCtxCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	spec := ctxSpec()
+	done := 0
+	spec.OnTrialDone = func(int, *trainer.Result) {
+		done++
+		cancel() // deterministic mid-run cancellation point
+	}
+	r := ctxRunner()
+	res, err := r.RunJobCtx(ctx, spec)
+	if res != nil {
+		t.Fatal("cancelled job returned a result")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if done == 0 {
+		t.Fatal("cancellation hook never fired")
+	}
+	// The same spec on a background context still completes — the runner
+	// carries no residual state from the aborted job.
+	spec.OnTrialDone = nil
+	full, err := r.RunJob(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done >= len(full.Trials) {
+		t.Errorf("cancelled job observed %d trials, full job only %d — cancel did not cut the run short",
+			done, len(full.Trials))
+	}
+}
+
+// TestRunJobCtxBackgroundMatchesRunJob pins the refactor invariant: RunJob
+// and RunJobCtx(Background) produce identical results.
+func TestRunJobCtxBackgroundMatchesRunJob(t *testing.T) {
+	a, err := ctxRunner().RunJob(ctxSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ctxRunner().RunJobCtx(context.Background(), ctxSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TuningTime != b.TuningTime || a.Best.ID != b.Best.ID || a.Best.Score != b.Best.Score {
+		t.Fatalf("RunJobCtx(Background) diverged: (%v, %d, %v) vs (%v, %d, %v)",
+			a.TuningTime, a.Best.ID, a.Best.Score, b.TuningTime, b.Best.ID, b.Best.Score)
+	}
+}

@@ -29,6 +29,7 @@
 package tune
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -145,7 +146,10 @@ type JobSpec struct {
 	// is PipeTune's hook; nil for the baselines).
 	TrialObserver func(trialID int) trainer.EpochObserver
 	// OnTrialDone, when set, is called as each trial completes, in
-	// simulated completion order (PipeTune's ground-truth feeder).
+	// simulated completion order (PipeTune's ground-truth feeder). When a
+	// job is cancelled, trials of the interrupted batch that had already
+	// finished computing are still delivered — in suggestion order, since
+	// no schedule exists for them — so their knowledge is not lost.
 	OnTrialDone func(trialID int, res *trainer.Result)
 }
 
@@ -222,25 +226,23 @@ func budgetIterations(ratio int) int {
 }
 
 // slotCount derives the simulated parallelism: how many BaseSys-sized
-// trials the cluster fits, bounded by spec.MaxParallel.
+// trials the cluster fits, bounded by spec.MaxParallel. The count is taken
+// against a scratch clone of the cluster — never the live one — so
+// concurrent jobs sharing a Runner (the pipetuned service) cannot observe
+// each other's transient allocations.
 func (r *Runner) slotCount(spec JobSpec) (int, error) {
 	if !r.Cluster.Fits(spec.BaseSys) {
 		return 0, fmt.Errorf("tune: base config %v does not fit any node", spec.BaseSys)
 	}
-	// Count allocations until the cluster is full, then release.
-	var allocs []*cluster.Alloc
+	// Count allocations until the scratch cluster is full; the clone is
+	// discarded, so nothing needs releasing.
+	scratch := r.Cluster.Clone()
+	slots := 0
 	for {
-		a, err := r.Cluster.Allocate(spec.BaseSys)
-		if err != nil {
+		if _, err := scratch.Allocate(spec.BaseSys); err != nil {
 			break
 		}
-		allocs = append(allocs, a)
-	}
-	slots := len(allocs)
-	for _, a := range allocs {
-		if err := a.Release(); err != nil {
-			return 0, err
-		}
+		slots++
 	}
 	if spec.MaxParallel > 0 && spec.MaxParallel < slots {
 		slots = spec.MaxParallel
@@ -349,6 +351,15 @@ func resizeEvents(res *trainer.Result) []sched.Resize {
 // default FIFO policy the schedule — and therefore TuningTime and Best —
 // is identical to the legacy barrier scheduler's.
 func (r *Runner) RunJob(spec JobSpec) (*JobResult, error) {
+	return r.RunJobCtx(context.Background(), spec)
+}
+
+// RunJobCtx is RunJob with cancellation: the context is checked before
+// every searcher batch and before every trial body, so a cancelled job
+// stops within one trial's real compute time. Cancellation surfaces as an
+// error satisfying errors.Is(err, ctx.Err()); the job's partial results
+// are discarded — a tuning job is only meaningful complete.
+func (r *Runner) RunJobCtx(ctx context.Context, spec JobSpec) (*JobResult, error) {
 	searcher, slots, workers, err := r.prepare(spec)
 	if err != nil {
 		return nil, err
@@ -390,8 +401,27 @@ func (r *Runner) RunJob(spec JobSpec) (*JobResult, error) {
 		}
 	}
 	submit = func(batch []search.Suggestion) {
-		records, err := r.runBatch(spec, batch, workers)
+		if err := ctx.Err(); err != nil {
+			loopErr = fmt.Errorf("tune: job cancelled: %w", err)
+			eng.Halt()
+			return
+		}
+		records, err := r.runBatch(ctx, spec, batch, workers)
 		if err != nil {
+			// Trials of this batch that finished before the cancellation
+			// landed have paid their full compute; deliver them to
+			// OnTrialDone so their knowledge (PipeTune's ground-truth
+			// feed) survives even though the job result is discarded.
+			// Order is suggestion order here, not simulated completion
+			// order — the schedule was never established. ctx.Err()
+			// covers both cancel() and deadline expiry.
+			if ctx.Err() != nil && errors.Is(err, ctx.Err()) && spec.OnTrialDone != nil {
+				for i := range records {
+					if records[i].Result != nil {
+						spec.OnTrialDone(records[i].ID, records[i].Result)
+					}
+				}
+			}
 			loopErr = err
 			eng.Halt()
 			return
@@ -459,7 +489,7 @@ func (r *Runner) RunJobBarrier(spec JobSpec) (*JobResult, error) {
 		if len(batch) == 0 {
 			break
 		}
-		records, err := r.runBatch(spec, batch, workers)
+		records, err := r.runBatch(context.Background(), spec, batch, workers)
 		if err != nil {
 			return nil, err
 		}
@@ -578,8 +608,12 @@ func (r *Runner) scheduleBatch(records []TrialRecord, clock float64, slots int) 
 }
 
 // runBatch executes one searcher batch on the worker pool and returns the
-// records in suggestion order (deterministic).
-func (r *Runner) runBatch(spec JobSpec, batch []search.Suggestion, workers int) ([]TrialRecord, error) {
+// records in suggestion order (deterministic). A cancelled context skips
+// trials that have not started yet; trials already inside the trainer run
+// to completion (a trial body is the cancellation granularity). On error
+// the records completed so far are still returned (their Result is
+// non-nil) so the caller can salvage their knowledge.
+func (r *Runner) runBatch(ctx context.Context, spec JobSpec, batch []search.Suggestion, workers int) ([]TrialRecord, error) {
 	records := make([]TrialRecord, len(batch))
 	errs := make([]error, len(batch))
 	sem := make(chan struct{}, workers)
@@ -591,13 +625,17 @@ func (r *Runner) runBatch(spec JobSpec, batch []search.Suggestion, workers int) 
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if err := ctx.Err(); err != nil {
+				errs[i] = fmt.Errorf("tune: job cancelled: %w", err)
+				return
+			}
 			records[i], errs[i] = r.runTrial(spec, sug)
 		}()
 	}
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return records, err
 		}
 	}
 	return records, nil

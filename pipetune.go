@@ -26,6 +26,7 @@
 package pipetune
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -135,6 +136,13 @@ func PaperSystemSpace() Space { return params.PaperSystemSpace() }
 // System is a fully wired PipeTune deployment: the training substrate, a
 // cluster, the baseline tuner and the PipeTune middleware with its
 // persistent ground-truth database.
+//
+// A System is safe for concurrent use after New returns: RunPipeTune,
+// RunBaseline and their context variants may be called from multiple
+// goroutines over the same instance (the pipetuned service does exactly
+// this), sharing one ground-truth database — each concurrent caller's
+// trials feed it and benefit from it. Options must not be applied
+// concurrently with runs.
 type System struct {
 	trainer  *trainer.Runner
 	cluster  *cluster.Cluster
@@ -293,11 +301,25 @@ func (s *System) RunBaseline(spec JobSpec) (*JobResult, error) {
 	return s.tuner.RunJob(spec)
 }
 
+// RunBaselineCtx is RunBaseline with cancellation: a cancelled context
+// aborts the job at the next trial boundary and returns an error
+// satisfying errors.Is(err, ctx.Err()).
+func (s *System) RunBaselineCtx(ctx context.Context, spec JobSpec) (*JobResult, error) {
+	return s.tuner.RunJobCtx(ctx, spec)
+}
+
 // RunPipeTune executes a job under the PipeTune middleware: pipelined
 // system-parameter tuning inside every trial, backed by the System's
 // persistent ground-truth database.
 func (s *System) RunPipeTune(spec JobSpec) (*JobResult, error) {
 	return s.pipetune.RunJob(spec)
+}
+
+// RunPipeTuneCtx is RunPipeTune with cancellation. Trials that completed
+// before the cancellation have already fed the ground-truth database and
+// stay there; the job result itself is discarded.
+func (s *System) RunPipeTuneCtx(ctx context.Context, spec JobSpec) (*JobResult, error) {
+	return s.pipetune.RunJobCtx(ctx, spec)
 }
 
 // Bootstrap warm-starts the ground-truth database by profiling the given
@@ -318,6 +340,10 @@ func (s *System) SaveGroundTruth(w io.Writer) error { return s.pipetune.GT.Save(
 
 // LoadGroundTruth restores a previously saved similarity database.
 func (s *System) LoadGroundTruth(r io.Reader) error { return s.pipetune.GT.Load(r) }
+
+// GroundTruth exposes the System's similarity database for sharing with
+// service layers (snapshotting, revision tracking, cross-job statistics).
+func (s *System) GroundTruth() *core.GroundTruth { return s.pipetune.GT }
 
 // PredictTrialDuration estimates a trial's simulated duration without
 // running it (used for capacity planning and the multi-tenant examples).

@@ -2,8 +2,12 @@ package pipetune
 
 import (
 	"bytes"
+	"errors"
+	"sync"
 	"testing"
 )
+
+var errNoBest = errors.New("job completed without a best trial")
 
 func fastSystem(t *testing.T, opts ...Option) *System {
 	t.Helper()
@@ -50,6 +54,41 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 	if hits == 0 {
 		t.Fatal("no ground-truth hits")
+	}
+}
+
+func TestFacadeConcurrentRuns(t *testing.T) {
+	// One System, many tenants: concurrent RunPipeTune calls over the
+	// shared ground-truth database must all complete (the pipetuned
+	// service depends on this guarantee).
+	s := fastSystem(t)
+	workloads := []Workload{
+		{Model: LeNet5, Dataset: MNIST},
+		{Model: CNN, Dataset: MNIST},
+		{Model: LeNet5, Dataset: FashionMNIST},
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(workloads))
+	for i, w := range workloads {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := s.RunPipeTune(fastSpec(s, w))
+			if err == nil && res.Best == nil {
+				err = errNoBest
+			}
+			errs[i] = err
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("concurrent job %d (%s): %v", i, workloads[i].Name(), err)
+		}
+	}
+	entries, _, _ := s.GroundTruthStats()
+	if entries == 0 {
+		t.Fatal("concurrent jobs fed nothing into the shared ground truth")
 	}
 }
 
