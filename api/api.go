@@ -11,6 +11,8 @@
 //	DELETE /v1/jobs/{id}        cancel a job               -> JobStatus
 //	GET    /v1/jobs/{id}/events stream progress (SSE)      -> Event frames
 //	GET    /v1/groundtruth      shared ground-truth stats  -> GroundTruthStats
+//	GET    /v1/groundtruth/export  dump the database       -> GroundTruthDump
+//	POST   /v1/groundtruth/import  merge entries in        -> ImportResult
 //	GET    /healthz             liveness + queue depths    -> Health
 //
 // Job results are the library's own tune.JobResult serialisation, so a
@@ -27,6 +29,7 @@ import (
 	"fmt"
 	"time"
 
+	"pipetune/internal/gt"
 	"pipetune/internal/tune"
 	"pipetune/internal/workload"
 )
@@ -140,11 +143,42 @@ type TrialEvent struct {
 
 // GroundTruthStats reports the service-wide shared similarity database.
 type GroundTruthStats struct {
-	Entries    int    `json:"entries"`
-	Hits       int    `json:"hits"`
-	Misses     int    `json:"misses"`
-	Rev        uint64 `json:"rev"`
+	Entries int `json:"entries"`
+	Hits    int `json:"hits"`
+	Misses  int `json:"misses"`
+	// Rev is the data revision (advances on every mutation); ModelRev is
+	// the revision the fitted similarity models cover. ModelRev == Rev
+	// means no refits are pending behind the store's watermark.
+	Rev      uint64 `json:"rev"`
+	ModelRev uint64 `json:"modelRev"`
+	// Shards is the number of profile-cluster partitions (1 for the
+	// monolithic store).
+	Shards int `json:"shards"`
+	// Store names the backing implementation ("sharded", "monolith").
+	Store string `json:"store,omitempty"`
+	// WALRecords is the depth of the un-compacted write-ahead log (0 when
+	// persistence is disabled or freshly compacted).
+	WALRecords int    `json:"walRecords,omitempty"`
 	Similarity string `json:"similarity"`
+}
+
+// GroundTruthEntry aliases the store's entry record: one historical
+// profile with its known-best system configuration.
+type GroundTruthEntry = gt.Entry
+
+// GroundTruthDump is the GET /v1/groundtruth/export body and the POST
+// /v1/groundtruth/import request: the same legacy-compatible snapshot
+// format the stores read and write on disk.
+type GroundTruthDump struct {
+	Entries []GroundTruthEntry `json:"entries"`
+}
+
+// ImportResult is the POST /v1/groundtruth/import response.
+type ImportResult struct {
+	// Imported counts the entries merged into the database.
+	Imported int `json:"imported"`
+	// Stats is the database state after the merge.
+	Stats GroundTruthStats `json:"stats"`
 }
 
 // Health is the GET /healthz body.

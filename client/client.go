@@ -22,8 +22,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
+	"net"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"pipetune/api"
@@ -34,12 +37,72 @@ import (
 type Client struct {
 	BaseURL    string
 	HTTPClient *http.Client
+
+	retry RetryConfig
+
+	jitterMu sync.Mutex
+	jitter   *rand.Rand // backoff jitter; lazily seeded
+}
+
+// Option customises a Client.
+type Option func(*Client)
+
+// RetryConfig bounds the client's automatic retries of transient
+// failures.
+type RetryConfig struct {
+	// MaxAttempts is the total number of tries, the first included
+	// (default 4 when WithRetry is used; 1 — no retries — otherwise).
+	MaxAttempts int
+	// BaseDelay is the first backoff (default 100ms); each further
+	// attempt doubles it, capped at MaxDelay (default 2s). The actual
+	// sleep is jittered uniformly in [delay/2, delay) so synchronised
+	// clients do not reconverge on a struggling daemon.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+}
+
+// withDefaults fills unset fields.
+func (rc RetryConfig) withDefaults() RetryConfig {
+	if rc.MaxAttempts <= 0 {
+		rc.MaxAttempts = 4
+	}
+	if rc.BaseDelay <= 0 {
+		rc.BaseDelay = 100 * time.Millisecond
+	}
+	if rc.MaxDelay <= 0 {
+		rc.MaxDelay = 2 * time.Second
+	}
+	return rc
+}
+
+// WithRetry makes the client retry transient failures — connection
+// refused and other dial-level errors, plus 502/503 responses — with
+// capped exponential backoff and jitter. Idempotent requests (Job, Jobs,
+// GroundTruth, Health, Cancel, Export) retry on any of those; requests
+// that mutate on arrival (Submit, Import) are retried ONLY when the
+// failure guarantees the daemon never received them (a dial error) —
+// never after a response, however transient-looking, was received.
+func WithRetry(rc RetryConfig) Option {
+	return func(c *Client) { c.retry = rc.withDefaults() }
+}
+
+// WithHTTPClient sets the underlying *http.Client.
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) { c.HTTPClient = h }
 }
 
 // New returns a client for the daemon at baseURL (e.g.
 // "http://localhost:8080").
-func New(baseURL string) *Client {
-	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		BaseURL: strings.TrimRight(baseURL, "/"),
+		// Default: a single attempt (no retries) until WithRetry opts in.
+		retry: RetryConfig{MaxAttempts: 1, BaseDelay: 100 * time.Millisecond, MaxDelay: 2 * time.Second},
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
 }
 
 func (c *Client) http() *http.Client {
@@ -50,38 +113,115 @@ func (c *Client) http() *http.Client {
 }
 
 // do issues a request and decodes the JSON response into out; non-2xx
-// responses decode into *api.Error.
-func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var rd io.Reader
+// responses decode into *api.Error. idempotent marks requests that are
+// safe to repeat after the daemon may already have processed them.
+func (c *Client) do(ctx context.Context, method, path string, body, out any, idempotent bool) error {
+	var buf []byte
 	if body != nil {
-		buf, err := json.Marshal(body)
-		if err != nil {
+		var err error
+		if buf, err = json.Marshal(body); err != nil {
 			return fmt.Errorf("client: encode request: %w", err)
 		}
-		rd = bytes.NewReader(buf)
+	}
+	// A zero-value Client (struct literal rather than New) has no retry
+	// config; it must still make exactly one attempt.
+	attempts := c.retry.MaxAttempts
+	if attempts <= 0 {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if err := c.backoff(ctx, attempt); err != nil {
+				return lastErr
+			}
+		}
+		retryable, err := c.attempt(ctx, method, path, buf, out, idempotent)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable || ctx.Err() != nil {
+			return err
+		}
+	}
+	return lastErr
+}
+
+// attempt runs one round trip. The bool reports whether the failure is
+// safe to retry for this request's idempotency class.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, out any, idempotent bool) (bool, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
 	if err != nil {
-		return fmt.Errorf("client: %w", err)
+		return false, fmt.Errorf("client: %w", err)
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {
-		return fmt.Errorf("client: %s %s: %w", method, path, err)
+		// Transport-level failure: no response was received. A dial
+		// error (connection refused, no route) means the request never
+		// reached the daemon, so even non-idempotent requests may retry;
+		// anything later (a torn write/read mid-exchange) may have been
+		// processed and only idempotent requests retry.
+		return idempotent || isDialError(err), fmt.Errorf("client: %s %s: %w", method, path, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		return decodeError(resp)
+		err := decodeError(resp)
+		// A response was received, so the daemon saw the request:
+		// retrying a non-idempotent request here could apply it twice.
+		transient := resp.StatusCode == http.StatusBadGateway ||
+			resp.StatusCode == http.StatusServiceUnavailable
+		return idempotent && transient, err
 	}
 	if out == nil {
-		return nil
+		return false, nil
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("client: decode %s %s: %w", method, path, err)
+		return false, fmt.Errorf("client: decode %s %s: %w", method, path, err)
 	}
-	return nil
+	return false, nil
+}
+
+// isDialError reports failures where the connection was never
+// established, so the request cannot have been processed.
+func isDialError(err error) bool {
+	var op *net.OpError
+	if errors.As(err, &op) {
+		return op.Op == "dial"
+	}
+	return false
+}
+
+// backoff sleeps for the attempt's jittered exponential delay, bailing
+// out early on context cancellation.
+func (c *Client) backoff(ctx context.Context, attempt int) error {
+	d := c.retry.BaseDelay << (attempt - 1)
+	if d > c.retry.MaxDelay || d <= 0 {
+		d = c.retry.MaxDelay
+	}
+	c.jitterMu.Lock()
+	if c.jitter == nil {
+		c.jitter = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	// Uniform in [d/2, d): full delays stay bounded, synchronised
+	// clients spread out.
+	d = d/2 + time.Duration(c.jitter.Int63n(int64(d/2)+1))
+	c.jitterMu.Unlock()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
 }
 
 // decodeError turns a non-2xx response into an *api.Error, falling back
@@ -94,45 +234,64 @@ func decodeError(resp *http.Response) error {
 	return &apiErr
 }
 
-// Submit enqueues a tuning job.
+// Submit enqueues a tuning job. Submission is not idempotent: with
+// WithRetry it retries only dial-level failures, where the daemon
+// provably never saw the request.
 func (c *Client) Submit(ctx context.Context, req api.JobRequest) (api.JobStatus, error) {
 	var st api.JobStatus
-	err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &st)
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &st, false)
 	return st, err
 }
 
 // Job fetches one job's status (with result once done).
 func (c *Client) Job(ctx context.Context, id string) (api.JobStatus, error) {
 	var st api.JobStatus
-	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st, true)
 	return st, err
 }
 
 // Jobs lists every job in submission order.
 func (c *Client) Jobs(ctx context.Context) ([]api.JobStatus, error) {
 	var out []api.JobStatus
-	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out)
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out, true)
 	return out, err
 }
 
 // Cancel aborts a queued or running job.
 func (c *Client) Cancel(ctx context.Context, id string) (api.JobStatus, error) {
 	var st api.JobStatus
-	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st)
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &st, true)
 	return st, err
 }
 
 // GroundTruth reports the service's shared similarity database.
 func (c *Client) GroundTruth(ctx context.Context) (api.GroundTruthStats, error) {
 	var st api.GroundTruthStats
-	err := c.do(ctx, http.MethodGet, "/v1/groundtruth", nil, &st)
+	err := c.do(ctx, http.MethodGet, "/v1/groundtruth", nil, &st, true)
 	return st, err
+}
+
+// ExportGroundTruth downloads the daemon's full similarity database in
+// the snapshot wire format (loadable by another daemon's -gt file or
+// ImportGroundTruth).
+func (c *Client) ExportGroundTruth(ctx context.Context) (api.GroundTruthDump, error) {
+	var dump api.GroundTruthDump
+	err := c.do(ctx, http.MethodGet, "/v1/groundtruth/export", nil, &dump, true)
+	return dump, err
+}
+
+// ImportGroundTruth merges a dump into the daemon's database. Imports
+// mutate on arrival, so with WithRetry only dial-level failures retry.
+func (c *Client) ImportGroundTruth(ctx context.Context, dump api.GroundTruthDump) (api.ImportResult, error) {
+	var res api.ImportResult
+	err := c.do(ctx, http.MethodPost, "/v1/groundtruth/import", dump, &res, false)
+	return res, err
 }
 
 // Health probes the daemon's liveness endpoint.
 func (c *Client) Health(ctx context.Context) (api.Health, error) {
 	var h api.Health
-	err := c.do(ctx, http.MethodGet, "/healthz", nil, &h)
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &h, true)
 	return h, err
 }
 

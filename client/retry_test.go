@@ -1,0 +1,197 @@
+package client
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pipetune/api"
+)
+
+// retryClient builds a client with fast backoff for tests.
+func retryClient(url string, opts ...Option) *Client {
+	base := []Option{WithRetry(RetryConfig{
+		MaxAttempts: 4,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    4 * time.Millisecond,
+	})}
+	return New(url, append(base, opts...)...)
+}
+
+// flakyTransport fails the first n round trips with a dial-level error,
+// then delegates to the real transport.
+type flakyTransport struct {
+	remaining atomic.Int64
+	attempts  atomic.Int64
+}
+
+func (f *flakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	f.attempts.Add(1)
+	if f.remaining.Add(-1) >= 0 {
+		return nil, &net.OpError{Op: "dial", Net: "tcp", Err: &net.DNSError{Err: "connection refused"}}
+	}
+	return http.DefaultTransport.RoundTrip(req)
+}
+
+// TestRetryHealthOn503 verifies idempotent requests retry transient HTTP
+// failures: the daemon answers 503 twice, then recovers.
+func TestRetryHealthOn503(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"status":"ok","queued":0,"running":0,"workers":1}`))
+	}))
+	defer srv.Close()
+
+	h, err := retryClient(srv.URL).Health(context.Background())
+	if err != nil {
+		t.Fatalf("health with retries: %v", err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("health = %+v", h)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (two 503s + success)", got)
+	}
+}
+
+// TestRetryExhaustion verifies the attempt cap: a permanently unavailable
+// endpoint fails after MaxAttempts tries, not an infinite loop.
+func TestRetryExhaustion(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	_, err := retryClient(srv.URL).Health(context.Background())
+	if err == nil {
+		t.Fatal("health against a dead daemon succeeded")
+	}
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("server saw %d calls, want MaxAttempts=4", got)
+	}
+}
+
+// TestSubmitNeverRetriesAfterResponse is the idempotency guarantee: a 503
+// response to Submit was still a response — the daemon may have acted on
+// the request (or a proxy may have) — so the client must not resubmit.
+func TestSubmitNeverRetriesAfterResponse(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	_, err := retryClient(srv.URL).Submit(context.Background(), api.JobRequest{Workload: "lenet/mnist"})
+	if err == nil {
+		t.Fatal("submit against 503 succeeded")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d submit calls, want exactly 1 (non-idempotent, no retry)", got)
+	}
+}
+
+// TestSubmitRetriesDialErrors verifies the carve-out: when the connection
+// itself fails (daemon restarting), the request provably never arrived,
+// so even Submit retries.
+func TestSubmitRetriesDialErrors(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		_, _ = w.Write([]byte(`{"id":"job-000001","state":"queued","request":{"workload":"lenet/mnist"},"submitted":"2026-01-01T00:00:00Z","trialsDone":0}`))
+	}))
+	defer srv.Close()
+
+	ft := &flakyTransport{}
+	ft.remaining.Store(2) // first two dials refused
+	cl := retryClient(srv.URL, WithHTTPClient(&http.Client{Transport: ft}))
+	st, err := cl.Submit(context.Background(), api.JobRequest{Workload: "lenet/mnist"})
+	if err != nil {
+		t.Fatalf("submit through flaky dials: %v", err)
+	}
+	if st.ID != "job-000001" {
+		t.Fatalf("status = %+v", st)
+	}
+	if got := ft.attempts.Load(); got != 3 {
+		t.Fatalf("transport saw %d attempts, want 3", got)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server processed %d submits, want exactly 1", got)
+	}
+}
+
+// TestNoRetryByDefault pins the opt-in: a plain New client makes exactly
+// one attempt.
+func TestNoRetryByDefault(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	if _, err := New(srv.URL).Health(context.Background()); err == nil {
+		t.Fatal("health against 503 succeeded")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1 (no retries without WithRetry)", got)
+	}
+}
+
+// TestRetryHonoursContext verifies cancellation interrupts the backoff.
+func TestRetryHonoursContext(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	cl := New(srv.URL, WithRetry(RetryConfig{
+		MaxAttempts: 100,
+		BaseDelay:   50 * time.Millisecond,
+		MaxDelay:    time.Second,
+	}))
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := cl.Health(ctx); err == nil {
+		t.Fatal("health succeeded against permanent 503")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancelled retry loop ran %v", elapsed)
+	}
+}
+
+// TestZeroValueClientStillRequests pins backward compatibility: a Client
+// built as a struct literal (no New, no retry config) must make exactly
+// one real request, not silently succeed with zero values.
+func TestZeroValueClientStillRequests(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"status":"ok","queued":0,"running":0,"workers":1}`))
+	}))
+	defer srv.Close()
+
+	cl := &Client{BaseURL: srv.URL}
+	h, err := cl.Health(context.Background())
+	if err != nil {
+		t.Fatalf("zero-value client: %v", err)
+	}
+	if h.Status != "ok" || calls.Load() != 1 {
+		t.Fatalf("health = %+v after %d calls, want ok after 1", h, calls.Load())
+	}
+}

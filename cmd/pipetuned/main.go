@@ -7,13 +7,22 @@
 // Usage:
 //
 //	pipetuned [-addr :8080] [-workers 2] [-seed 1] [-gt groundtruth.json]
-//	          [-queue 64] [-bootstrap] [-scheduler fifo]
+//	          [-gt-store sharded] [-gt-compact-every 256]
+//	          [-gt-snapshot-interval 0] [-queue 64] [-bootstrap]
+//	          [-scheduler fifo]
 //
 // Submit a job and watch it:
 //
 //	curl -s -X POST localhost:8080/v1/jobs -d '{"workload":"lenet/mnist"}'
 //	curl -s localhost:8080/v1/jobs/job-000001
 //	curl -N localhost:8080/v1/jobs/job-000001/events
+//
+// Ground-truth persistence is write-ahead-logged: every trial's entry is
+// appended durably (to <gt>.wal) the moment it lands, and the log is
+// compacted into the snapshot after jobs, every -gt-compact-every records,
+// on the -gt-snapshot-interval ticker and at shutdown. A crash loses at
+// most the un-synced tail of one append; a legacy (pre-WAL)
+// groundtruth.json loads unchanged.
 //
 // On SIGINT/SIGTERM the HTTP server drains, running jobs are cancelled at
 // their next trial boundary, and the ground truth takes a final snapshot —
@@ -31,6 +40,7 @@ import (
 	"time"
 
 	"pipetune"
+	"pipetune/internal/gt"
 	"pipetune/internal/httpserve"
 	"pipetune/internal/service"
 )
@@ -48,7 +58,10 @@ func run() error {
 		workersFlag   = flag.Int("workers", 2, "concurrently running jobs")
 		queueFlag     = flag.Int("queue", 64, "max queued jobs")
 		seedFlag      = flag.Uint64("seed", 1, "master seed for jobs that do not set one")
-		gtFlag        = flag.String("gt", "groundtruth.json", "ground-truth snapshot path (empty disables persistence)")
+		gtFlag        = flag.String("gt", "groundtruth.json", "ground-truth snapshot path (empty disables persistence; the WAL lives alongside at <path>.wal)")
+		gtStoreFlag   = flag.String("gt-store", "sharded", "ground-truth store: sharded (lock-free lookups, per-family shards) or monolith (the classic single-model database)")
+		gtCompactFlag = flag.Int("gt-compact-every", 256, "compact the ground-truth WAL into a snapshot every N records")
+		gtSnapFlag    = flag.Duration("gt-snapshot-interval", 0, "also compact on this interval (0 disables the ticker)")
 		schedFlag     = flag.String("scheduler", pipetune.SchedFIFO, "trial placement policy: fifo, sjf or backfill")
 		bootstrapFlag = flag.Bool("bootstrap", false, "warm-start the ground truth by profiling the Table 3 catalog")
 		drainFlag     = flag.Duration("drain", httpserve.DefaultShutdownTimeout, "graceful-shutdown drain timeout")
@@ -56,16 +69,31 @@ func run() error {
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "pipetuned: ", log.LstdFlags)
-	sys, err := pipetune.New(pipetune.WithSeed(*seedFlag), pipetune.WithScheduler(*schedFlag))
+	var store pipetune.GroundTruthStore
+	switch *gtStoreFlag {
+	case "sharded":
+		store = gt.NewSharded(gt.DefaultConfig(), *seedFlag)
+	case "monolith":
+		store = gt.NewMonolith(gt.DefaultConfig(), *seedFlag)
+	default:
+		return fmt.Errorf("unknown -gt-store %q (want sharded or monolith)", *gtStoreFlag)
+	}
+	sys, err := pipetune.New(
+		pipetune.WithSeed(*seedFlag),
+		pipetune.WithScheduler(*schedFlag),
+		pipetune.WithGroundTruthStore(store),
+	)
 	if err != nil {
 		return err
 	}
 	svc, err := service.New(service.Config{
-		System:     sys,
-		Workers:    *workersFlag,
-		QueueDepth: *queueFlag,
-		GTPath:     *gtFlag,
-		Logf:       logger.Printf,
+		System:           sys,
+		Workers:          *workersFlag,
+		QueueDepth:       *queueFlag,
+		GTPath:           *gtFlag,
+		CompactEvery:     *gtCompactFlag,
+		SnapshotInterval: *gtSnapFlag,
+		Logf:             logger.Printf,
 	})
 	if err != nil {
 		return err
@@ -86,7 +114,7 @@ func run() error {
 	// until the drain timeout every time.
 	srv.RegisterOnShutdown(svc.Shutdown)
 	err = httpserve.ListenAndServe(context.Background(), srv, *drainFlag, func(addr net.Addr) {
-		logger.Printf("serving the tuning API on %s (%d workers, gt=%s)", addr, *workersFlag, orNone(*gtFlag))
+		logger.Printf("serving the tuning API on %s (%d workers, gt=%s store=%s)", addr, *workersFlag, orNone(*gtFlag), *gtStoreFlag)
 		logger.Printf("try  curl -s -X POST localhost%s/v1/jobs -d '{\"workload\":\"lenet/mnist\"}'", httpserve.Port(addr))
 	})
 	// Blocks until the RegisterOnShutdown call (if any) has fully finished;

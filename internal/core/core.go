@@ -25,16 +25,11 @@ package core
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
-	"os"
-	"path/filepath"
-	"sort"
 	"sync"
 
-	"pipetune/internal/kmeans"
+	"pipetune/internal/gt"
 	"pipetune/internal/params"
 	"pipetune/internal/sched"
 	"pipetune/internal/trainer"
@@ -62,290 +57,6 @@ func (o OptimizeFor) String() string {
 	default:
 		return fmt.Sprintf("optimize(%d)", int(o))
 	}
-}
-
-// Entry is one historical ground-truth record: the profile of a trial and
-// the best system configuration discovered for it.
-type Entry struct {
-	Features []float64        `json:"features"` // log-scaled 58-event profile
-	BestSys  params.SysConfig `json:"bestSys"`
-	// Metric is the winner's *relative advantage*: the best configuration's
-	// per-epoch value divided by the mean over all configurations measured
-	// alongside it (dimensionless, lower = more dominant). Being relative
-	// makes entries comparable across trials with different
-	// hyperparameters, which raw durations are not.
-	Metric float64 `json:"metric"`
-}
-
-// GroundTruthConfig tunes the similarity machinery.
-type GroundTruthConfig struct {
-	// KMeans is the clustering configuration; the paper fixes k=2 (one
-	// cluster per workload family, §5.4).
-	KMeans kmeans.Config
-	// Threshold scales the cluster's RMS radius when deciding whether a
-	// new profile is "similar enough" to reuse (§5.6).
-	Threshold float64
-	// MinEntries is the history size below which every lookup misses
-	// (no reliable model yet).
-	MinEntries int
-	// Similarity overrides the technique (§5.4's pluggability); nil uses
-	// k-means with the KMeans/Threshold settings above.
-	Similarity Similarity
-}
-
-// DefaultGroundTruthConfig mirrors the paper's settings.
-func DefaultGroundTruthConfig() GroundTruthConfig {
-	return GroundTruthConfig{
-		KMeans:     kmeans.DefaultConfig(),
-		Threshold:  2.0,
-		MinEntries: 4,
-	}
-}
-
-// GroundTruth is the persistent similarity database (§5.4). It is safe for
-// concurrent use.
-type GroundTruth struct {
-	mu        sync.Mutex
-	cfg       GroundTruthConfig
-	sim       Similarity
-	fitted    bool
-	entries   []Entry
-	groupBest []params.SysConfig
-	hits      int
-	misses    int
-	rev       uint64 // bumped on every mutation; lets callers skip no-op snapshots
-}
-
-// NewGroundTruth creates an empty database.
-func NewGroundTruth(cfg GroundTruthConfig, seed uint64) *GroundTruth {
-	sim := cfg.Similarity
-	if sim == nil {
-		sim = NewKMeansSimilarity(cfg.KMeans, cfg.Threshold, seed)
-	}
-	return &GroundTruth{cfg: cfg, sim: sim}
-}
-
-// SimilarityName reports the active technique.
-func (g *GroundTruth) SimilarityName() string {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.sim.Name()
-}
-
-// Len returns the number of stored entries.
-func (g *GroundTruth) Len() int {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return len(g.entries)
-}
-
-// Stats returns lookup hit/miss counters.
-func (g *GroundTruth) Stats() (hits, misses int) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.hits, g.misses
-}
-
-// Rev returns a revision counter that increases on every mutation (Add,
-// Load). Persistence layers compare it against the revision of their last
-// snapshot to skip writes when nothing changed.
-func (g *GroundTruth) Rev() uint64 {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.rev
-}
-
-// Add stores an entry and re-clusters (§5.6: probing data "is saved to be
-// taken into account once re-clustering is applied").
-func (g *GroundTruth) Add(e Entry) error {
-	if len(e.Features) == 0 {
-		return errors.New("core: entry without features")
-	}
-	if err := e.BestSys.Validate(); err != nil {
-		return fmt.Errorf("core: %w", err)
-	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	cp := Entry{Features: append([]float64(nil), e.Features...), BestSys: e.BestSys, Metric: e.Metric}
-	g.entries = append(g.entries, cp)
-	g.rev++
-	g.recluster()
-	return nil
-}
-
-// recluster refits the similarity model and recomputes per-group best
-// configurations. Callers must hold g.mu.
-func (g *GroundTruth) recluster() {
-	if len(g.entries) < g.cfg.MinEntries {
-		g.fitted = false
-		g.groupBest = nil
-		return
-	}
-	points := make([][]float64, len(g.entries))
-	for i, e := range g.entries {
-		points[i] = e.Features
-	}
-	if err := g.sim.Fit(points); err != nil {
-		g.fitted = false
-		g.groupBest = nil
-		return
-	}
-	g.fitted = true
-
-	// Per group, the configuration that won most often among members
-	// (ties broken towards the lower mean relative-advantage metric, then
-	// lexicographically for determinism).
-	g.groupBest = make([]params.SysConfig, g.sim.Groups())
-	for c := range g.groupBest {
-		type agg struct {
-			sys    params.SysConfig
-			count  int
-			metric float64
-		}
-		byKey := make(map[string]*agg)
-		for i, e := range g.entries {
-			if g.sim.GroupOf(i) != c {
-				continue
-			}
-			key := e.BestSys.String()
-			a, ok := byKey[key]
-			if !ok {
-				a = &agg{sys: e.BestSys}
-				byKey[key] = a
-			}
-			a.count++
-			a.metric += e.Metric
-		}
-		keys := make([]string, 0, len(byKey))
-		for k := range byKey {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		bestKey := ""
-		for _, k := range keys {
-			if bestKey == "" {
-				bestKey = k
-				continue
-			}
-			a, b := byKey[k], byKey[bestKey]
-			// Prefer higher vote count, then lower mean metric.
-			if a.count > b.count ||
-				(a.count == b.count && a.metric/float64(a.count) < b.metric/float64(b.count)) {
-				bestKey = k
-			}
-		}
-		if bestKey != "" {
-			g.groupBest[c] = byKey[bestKey].sys
-		} else {
-			g.groupBest[c] = params.DefaultSysConfig()
-		}
-	}
-}
-
-// Lookup returns the known-best configuration for a profile if the
-// similarity function matches it confidently (§5.6: "the distance is
-// compared against the model's inertia, to measure the reliability of the
-// prediction").
-func (g *GroundTruth) Lookup(features []float64) (params.SysConfig, bool) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if !g.fitted {
-		g.misses++
-		return params.SysConfig{}, false
-	}
-	group, ok := g.sim.Match(features)
-	if !ok || group < 0 || group >= len(g.groupBest) {
-		g.misses++
-		return params.SysConfig{}, false
-	}
-	g.hits++
-	return g.groupBest[group], true
-}
-
-// gtSnapshot is the JSON persistence format of the database.
-type gtSnapshot struct {
-	Entries []Entry `json:"entries"`
-}
-
-// Save persists the entries as JSON (the model is refit on Load).
-func (g *GroundTruth) Save(w io.Writer) error {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return json.NewEncoder(w).Encode(gtSnapshot{Entries: g.entries})
-}
-
-// Load replaces the database contents and refits the model — the "warm
-// start" path of §5.4 (the user "can point to a pre-trained similarity
-// function").
-func (g *GroundTruth) Load(r io.Reader) error {
-	var snap gtSnapshot
-	if err := json.NewDecoder(r).Decode(&snap); err != nil {
-		return fmt.Errorf("core: load ground truth: %w", err)
-	}
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.entries = snap.Entries
-	g.rev++
-	g.recluster()
-	return nil
-}
-
-// SaveFile persists the database to path atomically: the snapshot is
-// written to a temporary file in the same directory, synced, and renamed
-// over the target. A crash mid-write therefore never leaves a half-written
-// snapshot at path — readers see either the old complete file or the new
-// one. It returns the revision the snapshot captured.
-func (g *GroundTruth) SaveFile(path string) (rev uint64, err error) {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return 0, fmt.Errorf("core: save ground truth: %w", err)
-	}
-	defer func() {
-		if err != nil {
-			tmp.Close()
-			os.Remove(tmp.Name())
-		}
-	}()
-	// Marshal under the lock so the entries and the revision agree even
-	// while concurrent jobs keep appending; the disk I/O happens outside
-	// it so snapshots never stall running jobs' lookups.
-	g.mu.Lock()
-	rev = g.rev
-	buf, encErr := json.Marshal(gtSnapshot{Entries: g.entries})
-	g.mu.Unlock()
-	if encErr != nil {
-		err = fmt.Errorf("core: save ground truth: %w", encErr)
-		return 0, err
-	}
-	if _, err = tmp.Write(append(buf, '\n')); err != nil {
-		return 0, fmt.Errorf("core: save ground truth: %w", err)
-	}
-	if err = tmp.Sync(); err != nil {
-		return 0, fmt.Errorf("core: save ground truth: %w", err)
-	}
-	if err = tmp.Close(); err != nil {
-		return 0, fmt.Errorf("core: save ground truth: %w", err)
-	}
-	if err = os.Rename(tmp.Name(), path); err != nil {
-		return 0, fmt.Errorf("core: save ground truth: %w", err)
-	}
-	return rev, nil
-}
-
-// LoadFile restores the database from a SaveFile snapshot. A missing file
-// is not an error — the database simply stays empty (first boot of a
-// service with a fresh state directory).
-func (g *GroundTruth) LoadFile(path string) error {
-	f, err := os.Open(path)
-	if err != nil {
-		if os.IsNotExist(err) {
-			return nil
-		}
-		return fmt.Errorf("core: load ground truth: %w", err)
-	}
-	defer f.Close()
-	return g.Load(f)
 }
 
 // DefaultProbeConfigs returns the §5.6 probing grid over the §7.1.4 system
@@ -395,7 +106,7 @@ type trialState struct {
 // of one or more HPT jobs. It implements the paper's tuneSystem (Algorithm
 // 1, lines 6-17) as a trainer.EpochObserver per trial.
 type Controller struct {
-	GT       *GroundTruth
+	GT       gt.Store
 	Probes   []params.SysConfig
 	Optimize OptimizeFor
 
@@ -408,9 +119,9 @@ type Controller struct {
 }
 
 // NewController creates a controller with the default probe grid.
-func NewController(gt *GroundTruth) *Controller {
+func NewController(store gt.Store) *Controller {
 	return &Controller{
-		GT:       gt,
+		GT:       store,
 		Probes:   DefaultProbeConfigs(),
 		Optimize: MinimizeDuration,
 		trials:   make(map[int]*trialState),
@@ -553,7 +264,7 @@ func (c *Controller) Finish(trialID int, _ *trainer.Result) {
 	if ok {
 		delete(c.trials, trialID)
 	}
-	var entry *Entry
+	var entry *gt.Entry
 	if ok && st.features != nil && comparedConfigs(st.measured) >= 2 {
 		// Only trials with comparative evidence (at least two distinct
 		// configurations measured) contribute: a trial that only ever ran
@@ -572,7 +283,7 @@ func (c *Controller) Finish(trialID int, _ *trainer.Result) {
 		if mean > 0 {
 			advantage = c.metric(best) / mean
 		}
-		entry = &Entry{Features: st.features, BestSys: best.sys, Metric: advantage}
+		entry = &gt.Entry{Features: st.features, BestSys: best.sys, Metric: advantage}
 	}
 	c.mu.Unlock()
 	if entry != nil {
@@ -596,7 +307,7 @@ func comparedConfigs(measured []probeResult) int {
 // by every job it runs — the cross-job learning of §7.4.
 type PipeTune struct {
 	Runner   *tune.Runner
-	GT       *GroundTruth
+	GT       gt.Store
 	Probes   []params.SysConfig
 	Optimize OptimizeFor
 	// Policy, when set, overrides the trial placement policy for PipeTune
@@ -608,11 +319,14 @@ type PipeTune struct {
 	Policy sched.Policy
 }
 
-// New creates a PipeTune middleware with an empty ground-truth database.
+// New creates a PipeTune middleware with an empty ground-truth database —
+// the sharded store, the concurrency-safe default for the service's shared
+// cross-job database (internal/gt documents the design; NewGroundTruth
+// still builds the classic monolith for callers that want it).
 func New(runner *tune.Runner, seed uint64) *PipeTune {
 	return &PipeTune{
 		Runner:   runner,
-		GT:       NewGroundTruth(DefaultGroundTruthConfig(), seed),
+		GT:       gt.NewSharded(gt.DefaultConfig(), seed),
 		Probes:   DefaultProbeConfigs(),
 		Optimize: MinimizeDuration,
 	}
@@ -694,7 +408,7 @@ func (p *PipeTune) Bootstrap(workloads []workload.Workload, seed uint64) error {
 				if mean > 0 {
 					advantage = p.metricOf(best) / mean
 				}
-				if err := p.GT.Add(Entry{Features: features, BestSys: best.sys, Metric: advantage}); err != nil {
+				if err := p.GT.Add(gt.Entry{Features: features, BestSys: best.sys, Metric: advantage}); err != nil {
 					return err
 				}
 			}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"bytes"
 	"testing"
 
 	"pipetune/internal/cluster"
@@ -31,82 +30,6 @@ func featuresOf(t *testing.T, w workload.Workload, seed uint64) []float64 {
 		t.Fatal(err)
 	}
 	return p.Features()
-}
-
-func TestGroundTruthMissesWhenEmpty(t *testing.T) {
-	gt := NewGroundTruth(DefaultGroundTruthConfig(), 1)
-	if _, ok := gt.Lookup(featuresOf(t, lenetMNIST, 1)); ok {
-		t.Fatal("empty database returned a hit")
-	}
-	hits, misses := gt.Stats()
-	if hits != 0 || misses != 1 {
-		t.Fatalf("stats = %d/%d, want 0/1", hits, misses)
-	}
-}
-
-func TestGroundTruthHitAfterSimilarEntries(t *testing.T) {
-	gt := NewGroundTruth(DefaultGroundTruthConfig(), 1)
-	best := params.SysConfig{Cores: 4, MemoryGB: 8}
-	// Populate with two families so k=2 clustering is meaningful.
-	for i := 0; i < 4; i++ {
-		if err := gt.Add(Entry{Features: featuresOf(t, lenetMNIST, uint64(i)), BestSys: best, Metric: 100}); err != nil {
-			t.Fatal(err)
-		}
-		if err := gt.Add(Entry{Features: featuresOf(t, cnnNews, uint64(i)), BestSys: params.SysConfig{Cores: 8, MemoryGB: 32}, Metric: 200}); err != nil {
-			t.Fatal(err)
-		}
-	}
-	cfg, ok := gt.Lookup(featuresOf(t, lenetMNIST, 99))
-	if !ok {
-		t.Fatal("similar profile missed")
-	}
-	if cfg != best {
-		t.Fatalf("hit returned %v, want %v", cfg, best)
-	}
-	// The other family resolves to its own configuration.
-	cfg2, ok := gt.Lookup(featuresOf(t, cnnNews, 99))
-	if !ok {
-		t.Fatal("second family missed")
-	}
-	if cfg2 == best {
-		t.Fatal("families not separated")
-	}
-}
-
-func TestGroundTruthAddValidation(t *testing.T) {
-	gt := NewGroundTruth(DefaultGroundTruthConfig(), 1)
-	if err := gt.Add(Entry{Features: nil, BestSys: params.DefaultSysConfig()}); err == nil {
-		t.Fatal("featureless entry accepted")
-	}
-	if err := gt.Add(Entry{Features: []float64{1}, BestSys: params.SysConfig{}}); err == nil {
-		t.Fatal("invalid config accepted")
-	}
-}
-
-func TestGroundTruthSaveLoad(t *testing.T) {
-	gt := NewGroundTruth(DefaultGroundTruthConfig(), 1)
-	for i := 0; i < 4; i++ {
-		_ = gt.Add(Entry{Features: featuresOf(t, lenetMNIST, uint64(i)), BestSys: params.SysConfig{Cores: 4, MemoryGB: 8}, Metric: 1})
-		_ = gt.Add(Entry{Features: featuresOf(t, cnnNews, uint64(i)), BestSys: params.SysConfig{Cores: 16, MemoryGB: 32}, Metric: 1})
-	}
-	var buf bytes.Buffer
-	if err := gt.Save(&buf); err != nil {
-		t.Fatal(err)
-	}
-	restored := NewGroundTruth(DefaultGroundTruthConfig(), 2)
-	if err := restored.Load(&buf); err != nil {
-		t.Fatal(err)
-	}
-	if restored.Len() != gt.Len() {
-		t.Fatalf("restored %d entries, want %d", restored.Len(), gt.Len())
-	}
-	// A warm-started database must serve hits immediately (§5.4).
-	if _, ok := restored.Lookup(featuresOf(t, lenetMNIST, 50)); !ok {
-		t.Fatal("warm-started database missed")
-	}
-	if err := restored.Load(bytes.NewBufferString("junk")); err == nil {
-		t.Fatal("garbage accepted")
-	}
 }
 
 func makeEpoch(epoch int, sys params.SysConfig, duration, energy float64, profile perf.Profile) trainer.EpochStats {
@@ -409,5 +332,28 @@ func TestPipeTunePolicyForwarded(t *testing.T) {
 	}
 	if res.Spec.Policy == nil || res.Spec.Policy.Name() != sched.NameSJF {
 		t.Fatal("PipeTune policy not forwarded to the job spec")
+	}
+}
+
+// TestPipeTuneWithPluggableSimilarity swaps the similarity technique
+// (§5.4's pluggability) under a full PipeTune run.
+func TestPipeTuneWithPluggableSimilarity(t *testing.T) {
+	pt := New(testTuneRunner(), 7)
+	cfg := DefaultGroundTruthConfig()
+	cfg.Similarity = NewNearestNeighborSimilarity(3.0)
+	pt.GT = NewGroundTruth(cfg, 7)
+	if err := pt.Bootstrap(workload.OfType(workload.TypeI), 99); err != nil {
+		t.Fatal(err)
+	}
+	res, err := pt.RunJob(smallJob(lenetMNIST, 42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil {
+		t.Fatal("no best trial under k-NN similarity")
+	}
+	hits, _ := pt.GT.Stats()
+	if hits == 0 {
+		t.Fatal("k-NN similarity never hit after bootstrap")
 	}
 }

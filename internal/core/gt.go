@@ -1,0 +1,44 @@
+package core
+
+import (
+	"pipetune/internal/gt"
+	"pipetune/internal/kmeans"
+)
+
+// The ground-truth similarity database (§5.4) lives in internal/gt since
+// the sharded-store refactor; these aliases keep the long-standing core
+// vocabulary working for existing callers (experiments, tests, the
+// facade). New code should use internal/gt directly.
+
+// Entry is one historical ground-truth record.
+type Entry = gt.Entry
+
+// Similarity is the pluggable similarity function of §5.4.
+type Similarity = gt.Similarity
+
+// GroundTruthConfig tunes the similarity machinery.
+type GroundTruthConfig = gt.Config
+
+// GroundTruth is the classic monolithic database: one mutex, eager refit
+// on every Add. The sharded store (gt.Sharded) is the default for new
+// PipeTune instances; the monolith remains for callers that construct one
+// explicitly.
+type GroundTruth = gt.Monolith
+
+// DefaultGroundTruthConfig mirrors the paper's settings.
+func DefaultGroundTruthConfig() GroundTruthConfig { return gt.DefaultConfig() }
+
+// NewGroundTruth creates an empty monolithic database.
+func NewGroundTruth(cfg GroundTruthConfig, seed uint64) *GroundTruth {
+	return gt.NewMonolith(cfg, seed)
+}
+
+// NewKMeansSimilarity builds the paper's default technique.
+func NewKMeansSimilarity(cfg kmeans.Config, threshold float64, seed uint64) *gt.KMeansSimilarity {
+	return gt.NewKMeansSimilarity(cfg, threshold, seed)
+}
+
+// NewNearestNeighborSimilarity builds the k-NN technique.
+func NewNearestNeighborSimilarity(threshold float64) *gt.NearestNeighborSimilarity {
+	return gt.NewNearestNeighborSimilarity(threshold)
+}

@@ -1,0 +1,199 @@
+package gt
+
+import (
+	"io"
+	"sync"
+
+	"pipetune/internal/params"
+)
+
+// Monolith is the original ground-truth design (§5.4): one database behind
+// one mutex, with the similarity model eagerly refit on every Add — §5.6's
+// probing data "is saved to be taken into account once re-clustering is
+// applied", applied literally. It is safe for concurrent use, but every
+// operation (including Lookup's distance computation) serialises through
+// the lock — the contention profile the sharded store exists to fix. Kept
+// as the conservative reference implementation and benchmark baseline.
+type Monolith struct {
+	mu      sync.Mutex
+	cfg     Config
+	sim     Similarity
+	fitted  bool
+	entries []Entry
+	best    []params.SysConfig
+	hits    int
+	misses  int
+	rev     uint64 // bumped on every mutation; lets callers skip no-op snapshots
+}
+
+// NewMonolith creates an empty monolithic database.
+func NewMonolith(cfg Config, seed uint64) *Monolith {
+	sim := cfg.Similarity
+	if sim == nil && cfg.NewSimilarity != nil {
+		sim = cfg.NewSimilarity(seed)
+	}
+	if sim == nil {
+		sim = NewKMeansSimilarity(cfg.KMeans, cfg.Threshold, seed)
+	}
+	return &Monolith{cfg: cfg, sim: sim}
+}
+
+// SimilarityName implements Store.
+func (g *Monolith) SimilarityName() string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.sim.Name()
+}
+
+// Len implements Store.
+func (g *Monolith) Len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.entries)
+}
+
+// Stats implements Store.
+func (g *Monolith) Stats() (hits, misses int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.hits, g.misses
+}
+
+// Rev implements Store.
+func (g *Monolith) Rev() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.rev
+}
+
+// Info implements Store. The monolith refits eagerly, so ModelRev always
+// equals Rev.
+func (g *Monolith) Info() Info {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return Info{
+		Store:      "monolith",
+		Entries:    len(g.entries),
+		Hits:       g.hits,
+		Misses:     g.misses,
+		Rev:        g.rev,
+		ModelRev:   g.rev,
+		Shards:     1,
+		Similarity: g.sim.Name(),
+	}
+}
+
+// Add implements Store: store the entry and re-cluster immediately.
+func (g *Monolith) Add(e Entry) error {
+	if err := e.validate(); err != nil {
+		return err
+	}
+	cp := e.clone()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.entries = append(g.entries, cp)
+	g.rev++
+	g.recluster()
+	return nil
+}
+
+// recluster refits the similarity model and recomputes per-group best
+// configurations. Callers must hold g.mu.
+func (g *Monolith) recluster() {
+	if len(g.entries) < g.cfg.MinEntries {
+		g.fitted = false
+		g.best = nil
+		return
+	}
+	points := make([][]float64, len(g.entries))
+	for i, e := range g.entries {
+		points[i] = e.Features
+	}
+	if err := g.sim.Fit(points); err != nil {
+		g.fitted = false
+		g.best = nil
+		return
+	}
+	g.fitted = true
+	g.best = groupBest(g.entries, g.sim)
+}
+
+// Lookup implements Store (§5.6: "the distance is compared against the
+// model's inertia, to measure the reliability of the prediction"). The
+// whole match, distance computation included, runs under the exclusive
+// mutex — by design the monolith's known hot-path cost.
+func (g *Monolith) Lookup(features []float64) (params.SysConfig, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.fitted {
+		g.misses++
+		return params.SysConfig{}, false
+	}
+	group, ok := g.sim.Match(features)
+	if !ok || group < 0 || group >= len(g.best) {
+		g.misses++
+		return params.SysConfig{}, false
+	}
+	g.hits++
+	return g.best[group], true
+}
+
+// Entries implements Store.
+func (g *Monolith) Entries() []Entry {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]Entry, len(g.entries))
+	for i, e := range g.entries {
+		out[i] = e.clone()
+	}
+	return out
+}
+
+// Replace implements Store.
+func (g *Monolith) Replace(entries []Entry) error {
+	cp := make([]Entry, len(entries))
+	for i, e := range entries {
+		if err := e.validate(); err != nil {
+			return err
+		}
+		cp[i] = e.clone()
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.entries = cp
+	g.rev++
+	g.recluster()
+	return nil
+}
+
+// Save implements Store. The encode runs under the lock so the entries
+// and any revision observed around it agree.
+func (g *Monolith) Save(w io.Writer) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return saveEntries(w, g.entries, 0)
+}
+
+// Load implements Store — the "warm start" path of §5.4 (the user "can
+// point to a pre-trained similarity function").
+func (g *Monolith) Load(r io.Reader) error {
+	snap, err := loadSnapshot(r)
+	if err != nil {
+		return err
+	}
+	return g.Replace(snap.Entries)
+}
+
+// SaveFile persists the database to path atomically (see gt.SaveFile).
+// Kept as a method for the callers that predate the Store interface.
+func (g *Monolith) SaveFile(path string) (rev uint64, err error) {
+	return SaveFile(g, path)
+}
+
+// LoadFile restores the database from a SaveFile snapshot (see
+// gt.LoadFile).
+func (g *Monolith) LoadFile(path string) error {
+	return LoadFile(g, path)
+}
+
+var _ Store = (*Monolith)(nil)

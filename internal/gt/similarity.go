@@ -1,4 +1,4 @@
-package core
+package gt
 
 import (
 	"errors"
@@ -58,7 +58,7 @@ func (s *KMeansSimilarity) Name() string { return "kmeans" }
 func (s *KMeansSimilarity) Fit(features [][]float64) error {
 	if len(features) < s.cfg.K {
 		s.model = nil
-		return fmt.Errorf("core: %d profiles < k=%d", len(features), s.cfg.K)
+		return fmt.Errorf("gt: %d profiles < k=%d", len(features), s.cfg.K)
 	}
 	model, err := kmeans.Fit(features, s.cfg, s.rng)
 	if err != nil {
@@ -154,7 +154,7 @@ func (s *NearestNeighborSimilarity) Name() string { return "nearest-neighbor" }
 func (s *NearestNeighborSimilarity) Fit(features [][]float64) error {
 	if len(features) == 0 {
 		s.points = nil
-		return errors.New("core: no profiles to fit")
+		return errors.New("gt: no profiles to fit")
 	}
 	pts := make([][]float64, len(features))
 	for i, f := range features {

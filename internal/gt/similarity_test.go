@@ -1,11 +1,10 @@
-package core
+package gt
 
 import (
 	"testing"
 
 	"pipetune/internal/kmeans"
 	"pipetune/internal/params"
-	"pipetune/internal/workload"
 )
 
 func TestKMeansSimilarityGroupsFamilies(t *testing.T) {
@@ -95,42 +94,32 @@ func TestNearestNeighborSimilarityDegenerate(t *testing.T) {
 	}
 }
 
-func TestGroundTruthWithNearestNeighbor(t *testing.T) {
-	cfg := DefaultGroundTruthConfig()
-	cfg.Similarity = NewNearestNeighborSimilarity(3.0)
-	gt := NewGroundTruth(cfg, 1)
-	if gt.SimilarityName() != "nearest-neighbor" {
-		t.Fatalf("similarity = %q", gt.SimilarityName())
-	}
-	best := params.SysConfig{Cores: 4, MemoryGB: 32}
-	for i := 0; i < 4; i++ {
-		if err := gt.Add(Entry{Features: featuresOf(t, lenetMNIST, uint64(i)), BestSys: best, Metric: 0.8}); err != nil {
-			t.Fatal(err)
-		}
-	}
-	cfgGot, ok := gt.Lookup(featuresOf(t, lenetMNIST, 77))
-	if !ok || cfgGot != best {
-		t.Fatalf("k-NN lookup = (%v, %v), want (%v, true)", cfgGot, ok, best)
-	}
-}
-
-func TestPipeTuneWithPluggableSimilarity(t *testing.T) {
-	pt := New(testTuneRunner(), 7)
-	cfg := DefaultGroundTruthConfig()
-	cfg.Similarity = NewNearestNeighborSimilarity(3.0)
-	pt.GT = NewGroundTruth(cfg, 7)
-	if err := pt.Bootstrap(workload.OfType(workload.TypeI), 99); err != nil {
-		t.Fatal(err)
-	}
-	res, err := pt.RunJob(smallJob(lenetMNIST, 42))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Best == nil {
-		t.Fatal("no best trial under k-NN similarity")
-	}
-	hits, _ := pt.GT.Stats()
-	if hits == 0 {
-		t.Fatal("k-NN similarity never hit after bootstrap")
+// TestStoreWithNearestNeighbor exercises §5.4's pluggability on both
+// stores: the monolith takes a fixed instance, the sharded store a
+// factory.
+func TestStoreWithNearestNeighbor(t *testing.T) {
+	cfgMono := DefaultConfig()
+	cfgMono.Similarity = NewNearestNeighborSimilarity(3.0)
+	cfgShard := DefaultConfig()
+	cfgShard.NewSimilarity = func(uint64) Similarity { return NewNearestNeighborSimilarity(3.0) }
+	for name, s := range map[string]Store{
+		"monolith": NewMonolith(cfgMono, 1),
+		"sharded":  NewSharded(cfgShard, 1),
+	} {
+		t.Run(name, func(t *testing.T) {
+			if s.SimilarityName() != "nearest-neighbor" {
+				t.Fatalf("similarity = %q", s.SimilarityName())
+			}
+			best := params.SysConfig{Cores: 4, MemoryGB: 32}
+			for i := 0; i < 4; i++ {
+				if err := s.Add(Entry{Features: featuresOf(t, lenetMNIST, uint64(i)), BestSys: best, Metric: 0.8}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			cfgGot, ok := s.Lookup(featuresOf(t, lenetMNIST, 77))
+			if !ok || cfgGot != best {
+				t.Fatalf("k-NN lookup = (%v, %v), want (%v, true)", cfgGot, ok, best)
+			}
+		})
 	}
 }

