@@ -6,7 +6,7 @@
 // The API surface (all JSON):
 //
 //	POST   /v1/jobs             submit a tuning job        -> JobStatus
-//	GET    /v1/jobs             list jobs                  -> []JobStatus
+//	GET    /v1/jobs             list jobs (summaries)      -> []JobStatus
 //	GET    /v1/jobs/{id}        one job's status/result    -> JobStatus
 //	DELETE /v1/jobs/{id}        cancel a job               -> JobStatus
 //	GET    /v1/jobs/{id}/events stream progress (SSE)      -> Event frames
@@ -87,6 +87,16 @@ type JobRequest struct {
 	// accuracy, except in tune-v2 mode which defaults to accuracy/time
 	// (the paper's V2 semantics).
 	Objective string `json:"objective,omitempty"`
+	// Tenant names the fair-share accounting principal the job bills to.
+	// Empty maps to "default". Tenancy only changes *when* a job
+	// dispatches (under the service's fair or sjf job policies), never how
+	// it runs.
+	Tenant string `json:"tenant,omitempty"`
+	// Priority orders jobs within a tenant: higher dispatches first, ties
+	// preserve submission order. Zero is the default. Ignored by the pure
+	// FIFO job policy only in the sense that every job defaults to zero —
+	// a non-zero priority reorders there too.
+	Priority int `json:"priority,omitempty"`
 	// Seed fixes the job's randomness; 0 uses the service's master seed.
 	// Repeat submissions with the same seed replay the same search, but a
 	// PipeTune-mode job's trial durations also depend on the shared
@@ -101,23 +111,42 @@ type JobRequest struct {
 // JobStatus is the canonical job representation returned by every job
 // endpoint.
 type JobStatus struct {
-	ID         string     `json:"id"`
-	State      JobState   `json:"state"`
+	ID    string   `json:"id"`
+	State JobState `json:"state"`
+	// Tenant is the resolved accounting principal ("default" when the
+	// request named none).
+	Tenant string `json:"tenant"`
+	// Priority echoes the request's dispatch priority.
+	Priority   int        `json:"priority,omitempty"`
 	Request    JobRequest `json:"request"`
 	Submitted  time.Time  `json:"submitted"`
 	Started    *time.Time `json:"started,omitempty"`
 	Finished   *time.Time `json:"finished,omitempty"`
 	TrialsDone int        `json:"trialsDone"`
 	Error      string     `json:"error,omitempty"`
-	// Result is set once State is "done".
+	// QueuePosition is the job's 0-based rank in the dispatcher's nominal
+	// dispatch order, set only while the job is queued.
+	QueuePosition *int `json:"queuePosition,omitempty"`
+	// PredictedDuration is the cost model's service-time estimate for one
+	// full-budget trial of this job (simulated seconds) — the relative
+	// cost the sjf and fair job policies schedule on. 0 when the model
+	// cannot price the workload.
+	PredictedDuration float64 `json:"predictedDuration,omitempty"`
+	// Result is set once State is "done" — on single-job surfaces (GET
+	// /v1/jobs/{id}, DELETE). The list endpoint returns summaries without
+	// results: fetch the job by ID for its trial history.
 	Result *JobResult `json:"result,omitempty"`
 }
 
 // Event is one frame of the GET /v1/jobs/{id}/events stream. Trial events
 // carry Trial; the single terminal state event carries State (and Error
-// when the job failed).
+// when the job failed). A "lagged" event is terminal for the *stream*, not
+// the job: the server dropped this subscriber because it fell too far
+// behind, and the client should re-subscribe (the replay is complete from
+// the start) or fall back to polling. Lagged frames are per-subscriber and
+// carry Seq 0 — they are not part of the job's replayable event log.
 type Event struct {
-	Type  string      `json:"type"` // "trial" | "state"
+	Type  string      `json:"type"` // "trial" | "state" | "lagged"
 	JobID string      `json:"jobId"`
 	Seq   int         `json:"seq"`
 	Trial *TrialEvent `json:"trial,omitempty"`
@@ -129,6 +158,10 @@ type Event struct {
 const (
 	EventTrial = "trial"
 	EventState = "state"
+	// EventLagged tells a subscriber it was dropped for falling behind:
+	// the stream ends here without the job's terminal state, and the
+	// client must re-subscribe and replay to learn the true outcome.
+	EventLagged = "lagged"
 )
 
 // TrialEvent summarises one completed trial, emitted in simulated
@@ -187,6 +220,26 @@ type Health struct {
 	Queued  int    `json:"queued"`
 	Running int    `json:"running"`
 	Workers int    `json:"workers"`
+	// JobPolicy names the active job dispatch policy ("fifo", "fair",
+	// "sjf").
+	JobPolicy string `json:"jobPolicy"`
+	// Tenants reports per-tenant queue depths and wait-time statistics,
+	// sorted by tenant name. Only tenants that have ever submitted appear.
+	Tenants []TenantHealth `json:"tenants,omitempty"`
+}
+
+// TenantHealth is one tenant's slice of the service in the Health body.
+type TenantHealth struct {
+	Tenant string `json:"tenant"`
+	// Weight is the fair-share weight the dispatcher bills this tenant at.
+	Weight   int `json:"weight"`
+	Queued   int `json:"queued"`
+	Running  int `json:"running"`
+	Finished int `json:"finished"`
+	// MeanWaitSeconds / MaxWaitSeconds are wall-clock queue waits of the
+	// tenant's dispatched jobs (submission to worker pickup).
+	MeanWaitSeconds float64 `json:"meanWaitSeconds"`
+	MaxWaitSeconds  float64 `json:"maxWaitSeconds"`
 }
 
 // Error is the JSON error body every non-2xx response carries.

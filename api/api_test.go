@@ -1,6 +1,8 @@
 package api
 
 import (
+	"encoding/json"
+	"strings"
 	"testing"
 
 	"pipetune/internal/workload"
@@ -47,5 +49,58 @@ func TestJobStateTerminal(t *testing.T) {
 		if state.Terminal() != terminal {
 			t.Errorf("%s.Terminal() = %v", state, state.Terminal())
 		}
+	}
+}
+
+// TestJobStatusWireFormat pins the dispatcher's additions to the status
+// body: tenant always present, queuePosition only when set (a *int so
+// rank 0 still serialises), predictedDuration elided at zero.
+func TestJobStatusWireFormat(t *testing.T) {
+	pos := 0
+	st := JobStatus{ID: "job-000001", State: StateQueued, Tenant: "gold", QueuePosition: &pos}
+	b, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	for _, want := range []string{`"tenant":"gold"`, `"queuePosition":0`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("status body %s missing %s", s, want)
+		}
+	}
+	if strings.Contains(s, "predictedDuration") {
+		t.Errorf("zero predictedDuration not elided: %s", s)
+	}
+	st.QueuePosition = nil
+	if b, _ = json.Marshal(st); strings.Contains(string(b), "queuePosition") {
+		t.Errorf("nil queuePosition not elided: %s", b)
+	}
+}
+
+// TestHealthTenantsWireFormat pins the per-tenant health rows.
+func TestHealthTenantsWireFormat(t *testing.T) {
+	h := Health{Status: "ok", JobPolicy: "fair", Tenants: []TenantHealth{
+		{Tenant: "gold", Weight: 2, Queued: 1, MeanWaitSeconds: 0.5, MaxWaitSeconds: 1.5},
+	}}
+	b, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"jobPolicy":"fair"`, `"tenant":"gold"`, `"weight":2`, `"meanWaitSeconds":0.5`} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("health body %s missing %s", b, want)
+		}
+	}
+}
+
+// TestEventLaggedIsTerminalForStreamOnly pins the lagged event type: it
+// is a distinct type, not a job state, so JobState.Terminal stays
+// untouched by subscriber drops.
+func TestEventLaggedIsTerminalForStreamOnly(t *testing.T) {
+	if EventLagged == EventState || EventLagged == EventTrial {
+		t.Fatal("lagged event type collides with an existing type")
+	}
+	if JobState(EventLagged).Terminal() {
+		t.Fatal("lagged leaked into the job state machine")
 	}
 }

@@ -320,16 +320,26 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (api.J
 }
 
 // ErrStreamTruncated reports an event stream that ended before the job's
-// terminal state event — the server drops subscribers that fall too far
-// behind. The caller can re-Stream (events replay from the start) or fall
-// back to polling Job/Wait.
+// terminal state event and without a "lagged" frame — a torn connection
+// or a pre-lagged-event server. The caller can re-Stream (events replay
+// from the start) or fall back to polling Job/Wait.
 var ErrStreamTruncated = errors.New("client: event stream ended before the job finished")
+
+// ErrStreamLagged reports that the server explicitly dropped this
+// subscriber for falling behind (api.EventLagged): the job is still
+// running or finished without us — the stream just could not keep up.
+// Re-Stream to replay from the start (Follow does this automatically),
+// or poll Job/Wait for the terminal state.
+var ErrStreamLagged = errors.New("client: server dropped the event stream for lagging")
 
 // Stream consumes the job's Server-Sent-Events progress stream, invoking
 // fn for every event (replayed from the job's start). It returns nil when
-// the terminal state event has been delivered, ErrStreamTruncated if the
-// server closed the stream before that (slow-subscriber drop), fn's error
-// if it returns one (propagated), or the context's error on cancellation.
+// the terminal state event has been delivered, ErrStreamLagged when the
+// server dropped this subscriber for falling behind (fn sees the lagged
+// frame first; re-subscribe and replay for the true outcome),
+// ErrStreamTruncated if the stream ended without either marker, fn's
+// error if it returns one (propagated), or the context's error on
+// cancellation.
 func (c *Client) Stream(ctx context.Context, id string, fn func(api.Event) error) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/events", nil)
 	if err != nil {
@@ -361,6 +371,9 @@ func (c *Client) Stream(ctx context.Context, id string, fn func(api.Event) error
 			if err := fn(ev); err != nil {
 				return err
 			}
+			if ev.Type == api.EventLagged {
+				return fmt.Errorf("%w (job %s)", ErrStreamLagged, id)
+			}
 			if ev.Type == api.EventState && ev.State.Terminal() {
 				return nil
 			}
@@ -375,4 +388,27 @@ func (c *Client) Stream(ctx context.Context, id string, fn func(api.Event) error
 	// Clean EOF without a terminal state event: the server dropped this
 	// subscriber (or shut the stream early).
 	return fmt.Errorf("%w (job %s)", ErrStreamTruncated, id)
+}
+
+// Follow is Stream with automatic recovery from slow-subscriber drops:
+// when the server ends the stream with a lagged frame, Follow re-streams
+// (the server replays from the job's start) and suppresses events fn has
+// already seen, so fn observes every event exactly once, in order,
+// through to the terminal state. Lagged frames themselves are hidden from
+// fn — they are transport flow control, not job progress.
+func (c *Client) Follow(ctx context.Context, id string, fn func(api.Event) error) error {
+	seen := 0
+	for {
+		err := c.Stream(ctx, id, func(ev api.Event) error {
+			if ev.Type == api.EventLagged || ev.Seq <= seen {
+				return nil
+			}
+			seen = ev.Seq
+			return fn(ev)
+		})
+		if errors.Is(err, ErrStreamLagged) {
+			continue
+		}
+		return err
+	}
 }

@@ -1,0 +1,145 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"pipetune/api"
+)
+
+// sseFrame writes one SSE frame for ev.
+func sseFrame(w http.ResponseWriter, ev api.Event) {
+	var data string
+	switch ev.Type {
+	case api.EventTrial:
+		data = fmt.Sprintf(`{"type":"trial","jobId":%q,"seq":%d,"trial":{"trialId":%d}}`, ev.JobID, ev.Seq, ev.Seq)
+	case api.EventState:
+		data = fmt.Sprintf(`{"type":"state","jobId":%q,"seq":%d,"state":%q}`, ev.JobID, ev.Seq, ev.State)
+	case api.EventLagged:
+		data = fmt.Sprintf(`{"type":"lagged","jobId":%q}`, ev.JobID)
+	}
+	fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+}
+
+// TestStreamSurfacesLagged pins the client's half of the slow-subscriber
+// contract: a lagged frame ends Stream with ErrStreamLagged (after fn saw
+// the frame), distinguishable from both a clean terminal state and a torn
+// stream.
+func TestStreamSurfacesLagged(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		sseFrame(w, api.Event{Type: api.EventTrial, JobID: "job-000001", Seq: 1})
+		sseFrame(w, api.Event{Type: api.EventLagged, JobID: "job-000001"})
+	}))
+	defer srv.Close()
+
+	var sawLagged bool
+	err := New(srv.URL).Stream(context.Background(), "job-000001", func(ev api.Event) error {
+		if ev.Type == api.EventLagged {
+			sawLagged = true
+		}
+		return nil
+	})
+	if !errors.Is(err, ErrStreamLagged) {
+		t.Fatalf("Stream = %v, want ErrStreamLagged", err)
+	}
+	if errors.Is(err, ErrStreamTruncated) {
+		t.Fatal("lagged conflated with truncated")
+	}
+	if !sawLagged {
+		t.Fatal("fn never saw the lagged frame")
+	}
+}
+
+// TestStreamTruncatedStillDistinct pins the legacy behaviour: a stream
+// that just ends (no lagged frame, no terminal state) reports
+// ErrStreamTruncated, not ErrStreamLagged.
+func TestStreamTruncatedStillDistinct(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		sseFrame(w, api.Event{Type: api.EventTrial, JobID: "job-000001", Seq: 1})
+	}))
+	defer srv.Close()
+	err := New(srv.URL).Stream(context.Background(), "job-000001", func(api.Event) error { return nil })
+	if !errors.Is(err, ErrStreamTruncated) || errors.Is(err, ErrStreamLagged) {
+		t.Fatalf("Stream = %v, want ErrStreamTruncated only", err)
+	}
+}
+
+// TestFollowRecoversFromLag drives the full recovery loop: the first
+// stream is dropped mid-job with a lagged frame, the second replays from
+// the start through the terminal state; fn must observe every event
+// exactly once, in order, and Follow returns nil.
+func TestFollowRecoversFromLag(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		if calls.Add(1) == 1 {
+			// First subscription: two trials, then the drop.
+			sseFrame(w, api.Event{Type: api.EventTrial, JobID: "j", Seq: 1})
+			sseFrame(w, api.Event{Type: api.EventTrial, JobID: "j", Seq: 2})
+			sseFrame(w, api.Event{Type: api.EventLagged, JobID: "j"})
+			return
+		}
+		// Replay: the full history ending in the terminal state.
+		sseFrame(w, api.Event{Type: api.EventTrial, JobID: "j", Seq: 1})
+		sseFrame(w, api.Event{Type: api.EventTrial, JobID: "j", Seq: 2})
+		sseFrame(w, api.Event{Type: api.EventTrial, JobID: "j", Seq: 3})
+		sseFrame(w, api.Event{Type: api.EventState, JobID: "j", Seq: 4, State: api.StateDone})
+	}))
+	defer srv.Close()
+
+	var seqs []int
+	var terminal api.JobState
+	err := New(srv.URL).Follow(context.Background(), "j", func(ev api.Event) error {
+		seqs = append(seqs, ev.Seq)
+		if ev.Type == api.EventState {
+			terminal = ev.State
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("Follow made %d subscriptions, want 2", calls.Load())
+	}
+	want := []int{1, 2, 3, 4}
+	if len(seqs) != len(want) {
+		t.Fatalf("fn saw seqs %v, want %v (duplicates or gaps across the replay)", seqs, want)
+	}
+	for i := range want {
+		if seqs[i] != want[i] {
+			t.Fatalf("fn saw seqs %v, want %v", seqs, want)
+		}
+	}
+	if terminal != api.StateDone {
+		t.Fatalf("terminal state %v", terminal)
+	}
+}
+
+// TestFollowPropagatesFnError verifies fn's error aborts Follow without a
+// retry.
+func TestFollowPropagatesFnError(t *testing.T) {
+	var calls atomic.Int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "text/event-stream")
+		sseFrame(w, api.Event{Type: api.EventTrial, JobID: "j", Seq: 1})
+		sseFrame(w, api.Event{Type: api.EventState, JobID: "j", Seq: 2, State: api.StateDone})
+	}))
+	defer srv.Close()
+	boom := errors.New("boom")
+	err := New(srv.URL).Follow(context.Background(), "j", func(api.Event) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("Follow = %v, want fn's error", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("Follow retried after fn error: %d calls", calls.Load())
+	}
+}

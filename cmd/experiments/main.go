@@ -46,6 +46,7 @@ func registry() []renderer {
 		{"fig13", wrap(tableOf(experiments.Figure13)), "multi tenancy, Type-I/II"},
 		{"fig14", wrap(tableOf(experiments.Figure14)), "multi tenancy, Type-III"},
 		{"sched-policies", wrap(tableOf(experiments.SchedulingPolicies)), "placement policies under contention"},
+		{"fair-share", wrap(tableOf(experiments.FairShare)), "weighted fair job dispatch across tenants"},
 		{"ablation-gt", wrap(tableOf(experiments.AblationNoGroundTruth)), "ground truth on/off"},
 		{"ablation-searchers", wrap(tableOf(experiments.AblationSearchers)), "search algorithms"},
 		{"ablation-threshold", wrap(tableOf(experiments.AblationThreshold)), "similarity threshold sweep"},

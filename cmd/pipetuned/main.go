@@ -9,7 +9,17 @@
 //	pipetuned [-addr :8080] [-workers 2] [-seed 1] [-gt groundtruth.json]
 //	          [-gt-store sharded] [-gt-compact-every 256]
 //	          [-gt-snapshot-interval 0] [-queue 64] [-bootstrap]
-//	          [-scheduler fifo]
+//	          [-scheduler fifo] [-job-policy fifo]
+//	          [-tenant-weight name=w ...]
+//
+// Job dispatch across tenants is policy-driven: the default -job-policy
+// fifo reproduces the classic submission-order schedule exactly;
+// -job-policy fair shares the worker pool by weighted deficit round robin
+// over per-tenant queues (weights from repeatable -tenant-weight flags,
+// e.g. -tenant-weight research=2 -tenant-weight interns=1); -job-policy
+// sjf dispatches the job with the smallest cost-model estimate first,
+// with a starvation guard. Submissions bill to the tenant named in the
+// request body ("default" when absent).
 //
 // Submit a job and watch it:
 //
@@ -37,6 +47,8 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"pipetune"
@@ -44,6 +56,30 @@ import (
 	"pipetune/internal/httpserve"
 	"pipetune/internal/service"
 )
+
+// weightFlags collects repeatable -tenant-weight name=w flags.
+type weightFlags map[string]int
+
+func (w weightFlags) String() string {
+	parts := make([]string, 0, len(w))
+	for name, weight := range w {
+		parts = append(parts, fmt.Sprintf("%s=%d", name, weight))
+	}
+	return strings.Join(parts, ",")
+}
+
+func (w weightFlags) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok || name == "" {
+		return fmt.Errorf("want name=weight, got %q", s)
+	}
+	n, err := strconv.Atoi(val)
+	if err != nil || n < 1 {
+		return fmt.Errorf("weight for %q must be a positive integer, got %q", name, val)
+	}
+	w[name] = n
+	return nil
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -63,9 +99,12 @@ func run() error {
 		gtCompactFlag = flag.Int("gt-compact-every", 256, "compact the ground-truth WAL into a snapshot every N records")
 		gtSnapFlag    = flag.Duration("gt-snapshot-interval", 0, "also compact on this interval (0 disables the ticker)")
 		schedFlag     = flag.String("scheduler", pipetune.SchedFIFO, "trial placement policy: fifo, sjf or backfill")
+		jobPolicyFlag = flag.String("job-policy", pipetune.JobPolicyFIFO, "job dispatch policy across tenants: fifo, fair or sjf")
 		bootstrapFlag = flag.Bool("bootstrap", false, "warm-start the ground truth by profiling the Table 3 catalog")
 		drainFlag     = flag.Duration("drain", httpserve.DefaultShutdownTimeout, "graceful-shutdown drain timeout")
+		weights       = weightFlags{}
 	)
+	flag.Var(weights, "tenant-weight", "fair-share weight as name=w (repeatable; unlisted tenants weigh 1)")
 	flag.Parse()
 
 	logger := log.New(os.Stderr, "pipetuned: ", log.LstdFlags)
@@ -93,6 +132,8 @@ func run() error {
 		GTPath:           *gtFlag,
 		CompactEvery:     *gtCompactFlag,
 		SnapshotInterval: *gtSnapFlag,
+		JobPolicy:        *jobPolicyFlag,
+		TenantWeights:    weights,
 		Logf:             logger.Printf,
 	})
 	if err != nil {
@@ -114,7 +155,7 @@ func run() error {
 	// until the drain timeout every time.
 	srv.RegisterOnShutdown(svc.Shutdown)
 	err = httpserve.ListenAndServe(context.Background(), srv, *drainFlag, func(addr net.Addr) {
-		logger.Printf("serving the tuning API on %s (%d workers, gt=%s store=%s)", addr, *workersFlag, orNone(*gtFlag), *gtStoreFlag)
+		logger.Printf("serving the tuning API on %s (%d workers, job-policy=%s, gt=%s store=%s)", addr, *workersFlag, *jobPolicyFlag, orNone(*gtFlag), *gtStoreFlag)
 		logger.Printf("try  curl -s -X POST localhost%s/v1/jobs -d '{\"workload\":\"lenet/mnist\"}'", httpserve.Port(addr))
 	})
 	// Blocks until the RegisterOnShutdown call (if any) has fully finished;

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"pipetune/internal/admission"
 	"pipetune/internal/cluster"
 	"pipetune/internal/core"
 	"pipetune/internal/dataset"
@@ -245,6 +246,164 @@ func (r *PolicyResult) Table() *Table {
 		t.Rows = append(t.Rows, []string{row.Policy, f1(row.MeanResponse), f1(row.MeanWait), f1(row.Makespan)})
 	}
 	return t
+}
+
+// FairShareRow is one (policy, tenant) outcome of the fair-share trace.
+type FairShareRow struct {
+	Policy string `json:"policy"`
+	Tenant string `json:"tenant"`
+	Weight int    `json:"weight"`
+	// Completed counts the tenant's jobs finished by the horizon (the
+	// instant half the total backlog has completed — deep inside
+	// saturation, before either backlog drains).
+	Completed int `json:"completed"`
+	// Share is the tenant's fraction of horizon completions.
+	Share float64 `json:"share"`
+	// MeanWait is the mean queue wait of the tenant's horizon jobs.
+	MeanWait float64 `json:"meanWait"`
+}
+
+// FairShareResult compares job dispatch policies on a two-tenant trace.
+type FairShareResult struct {
+	JobsPerTenant int            `json:"jobsPerTenant"`
+	Horizon       int            `json:"horizon"` // completions counted
+	Rows          []FairShareRow `json:"rows"`
+}
+
+// Row returns the (policy, tenant) row.
+func (r *FairShareResult) Row(policy, tenant string) (FairShareRow, error) {
+	for _, row := range r.Rows {
+		if row.Policy == policy && row.Tenant == tenant {
+			return row, nil
+		}
+	}
+	return FairShareRow{}, fmt.Errorf("experiments: no row for %s/%s", policy, tenant)
+}
+
+// Table renders the comparison.
+func (r *FairShareResult) Table() *Table {
+	t := &Table{
+		Title: fmt.Sprintf("Fair share: two saturating tenants, %d jobs each, horizon %d completions",
+			r.JobsPerTenant, r.Horizon),
+		Header: []string{"policy", "tenant", "weight", "completed", "share", "mean wait [s]"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Policy, row.Tenant, fmt.Sprintf("%d", row.Weight),
+			fmt.Sprintf("%d", row.Completed), fmt.Sprintf("%.2f", row.Share), f1(row.MeanWait),
+		})
+	}
+	return t
+}
+
+// FairShare measures what the pipetuned dispatcher's job policies deliver
+// under multi-tenant saturation, deterministically and footprinted: two
+// tenants ("gold" at weight 2, "free" at weight 1) each dump an equal
+// backlog of identical Type-I HPT jobs at t=0; the admission queue
+// (internal/admission — the live service's dispatcher core) decides the
+// dispatch order; and the internal/sched engine executes that order on the
+// 4-node pool with real footprints. At the horizon — half the total
+// backlog completed, deep inside saturation — deficit round robin gives
+// the weight-2 tenant ~2x the completed jobs of the weight-1 tenant,
+// while FIFO splits 1:1 regardless of weights. No randomness anywhere:
+// durations come from the cost model, arrivals are simultaneous, and both
+// the queue and the engine are deterministic.
+func FairShare(cfg Config) (*FairShareResult, error) {
+	const (
+		tenantGold = "gold"
+		tenantFree = "free"
+	)
+	weights := map[string]int{tenantGold: 2, tenantFree: 1}
+	perTenant := cfg.MultiTenantJobs * 4
+
+	// All jobs are the same Type-I workload: identical cost-model duration
+	// and the half-node footprint of the SchedulingPolicies trace, so
+	// completed-job counts directly measure throughput share.
+	w := workload.Workload{Model: workload.LeNet5, Dataset: workload.MNIST}
+	h := params.DefaultHyper()
+	h.Epochs = cfg.Epochs
+	footprint := params.SysConfig{Cores: 16, MemoryGB: 32}
+	duration, err := newTrainer(cfg).PredictDuration(w, h, footprint)
+	if err != nil {
+		return nil, fmt.Errorf("fair share: %w", err)
+	}
+
+	// The horizon is a whole number of dispatch cycles under both
+	// policies (weight sum 3 for fair, 2 for fifo -> multiple of 6), so
+	// the steady-state shares appear exactly rather than +/- a partial
+	// cycle's rounding.
+	horizon := perTenant / 6 * 6
+	if horizon < 6 {
+		horizon = 6
+	}
+	res := &FairShareResult{JobsPerTenant: perTenant, Horizon: horizon}
+	for _, policy := range []admission.Policy{admission.PolicyFair, admission.PolicyFIFO} {
+		q, err := admission.New(admission.Config{Policy: policy, Weights: weights})
+		if err != nil {
+			return nil, err
+		}
+		tenantOf := make([]string, 0, 2*perTenant)
+		for i := 0; i < perTenant; i++ {
+			for _, tenant := range []string{tenantGold, tenantFree} {
+				id := len(tenantOf)
+				if err := q.Push(admission.Job{
+					ID: fmt.Sprintf("%d", id), Tenant: tenant, Cost: duration,
+				}); err != nil {
+					return nil, err
+				}
+				tenantOf = append(tenantOf, tenant)
+			}
+		}
+		// The queue fixes the dispatch order; the engine's head-of-line
+		// FIFO preserves it while packing footprints onto the pool.
+		eng := sched.New(paperCluster().SchedPool(), sched.FIFO(), 0)
+		dispatchIdx := make(map[int]int, 2*perTenant)
+		for dispatch := 0; q.Len() > 0; dispatch++ {
+			j, _ := q.Pop()
+			var id int
+			fmt.Sscanf(j.ID, "%d", &id)
+			dispatchIdx[id] = dispatch
+			if err := eng.Submit(sched.Task{
+				ID: id, Arrival: 0, Sys: footprint, Duration: duration,
+			}, nil); err != nil {
+				return nil, fmt.Errorf("fair share (%s): %w", policy, err)
+			}
+		}
+		if err := eng.Run(); err != nil {
+			return nil, fmt.Errorf("fair share (%s): %w", policy, err)
+		}
+		// Identical durations finish in batches at identical instants;
+		// dispatch order breaks those ties deterministically (within a
+		// batch it is also the start order).
+		done := append([]sched.TaskStats(nil), eng.Stats()...)
+		sort.Slice(done, func(i, j int) bool {
+			if done[i].End != done[j].End {
+				return done[i].End < done[j].End
+			}
+			return dispatchIdx[done[i].ID] < dispatchIdx[done[j].ID]
+		})
+		completed := map[string]int{}
+		waits := map[string][]float64{}
+		for _, st := range done[:res.Horizon] {
+			tenant := tenantOf[st.ID]
+			completed[tenant]++
+			waits[tenant] = append(waits[tenant], st.Wait)
+		}
+		for _, tenant := range []string{tenantGold, tenantFree} {
+			row := FairShareRow{
+				Policy:    string(policy),
+				Tenant:    tenant,
+				Weight:    weights[tenant],
+				Completed: completed[tenant],
+				Share:     float64(completed[tenant]) / float64(res.Horizon),
+			}
+			if len(waits[tenant]) > 0 {
+				row.MeanWait = stats.Mean(waits[tenant])
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
 }
 
 // SchedulingPolicies exercises real multi-job contention on the shared

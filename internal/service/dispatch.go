@@ -1,0 +1,129 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"pipetune/api"
+	"pipetune/internal/admission"
+)
+
+// tenantStats is one tenant's lifetime accounting: live queue depths plus
+// wait-time statistics over its dispatched jobs. Guarded by Service.mu.
+type tenantStats struct {
+	queued     int
+	running    int
+	finished   int
+	dispatched int
+	waitSum    time.Duration
+	waitMax    time.Duration
+}
+
+// dispatcher replaces the legacy FIFO `chan *job` worker pipeline: a
+// tenant-aware admission queue (internal/admission) plus a condition
+// variable waking workers and per-tenant wait accounting. It owns no lock
+// of its own — every method requires Service.mu held, which is also what
+// cond is bound to; a single critical section therefore spans the
+// capacity check, the job-ID allocation and the enqueue, closing the
+// ID-burn and lost-wakeup races a separate lock would reopen.
+type dispatcher struct {
+	q     *admission.Queue
+	cond  *sync.Cond
+	stats map[string]*tenantStats
+}
+
+// newDispatcher validates the job policy and tenant weights from cfg.
+func newDispatcher(mu *sync.Mutex, cfg Config) (*dispatcher, error) {
+	q, err := admission.New(admission.Config{
+		Policy:   admission.Policy(cfg.JobPolicy),
+		Weights:  cfg.TenantWeights,
+		Capacity: cfg.QueueDepth,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &dispatcher{
+		q:     q,
+		cond:  sync.NewCond(mu),
+		stats: make(map[string]*tenantStats),
+	}, nil
+}
+
+// tenant returns (creating on first use) a tenant's stats record.
+func (d *dispatcher) tenant(name string) *tenantStats {
+	ts := d.stats[name]
+	if ts == nil {
+		ts = &tenantStats{}
+		d.stats[name] = ts
+	}
+	return ts
+}
+
+// pushLocked admits a job into the queue and wakes one worker. The caller
+// has already verified capacity via q.Full() under the same lock.
+func (d *dispatcher) pushLocked(jb *job) error {
+	err := d.q.Push(admission.Job{
+		ID:       jb.id,
+		Tenant:   jb.tenant,
+		Priority: jb.req.Priority,
+		Cost:     jb.predicted,
+	})
+	if err != nil {
+		return err
+	}
+	d.tenant(jb.tenant).queued++
+	d.cond.Signal()
+	return nil
+}
+
+// onDispatchLocked records a queued->running transition and the job's
+// queue wait.
+func (d *dispatcher) onDispatchLocked(tenant string, wait time.Duration) {
+	ts := d.tenant(tenant)
+	ts.queued--
+	ts.running++
+	ts.dispatched++
+	ts.waitSum += wait
+	if wait > ts.waitMax {
+		ts.waitMax = wait
+	}
+}
+
+// onFinishLocked records a transition into a terminal state from prev.
+func (d *dispatcher) onFinishLocked(tenant string, prev api.JobState) {
+	ts := d.tenant(tenant)
+	switch prev {
+	case api.StateQueued:
+		ts.queued--
+	case api.StateRunning:
+		ts.running--
+	}
+	ts.finished++
+}
+
+// healthLocked renders the per-tenant Health rows, sorted by tenant name.
+func (d *dispatcher) healthLocked() []api.TenantHealth {
+	names := make([]string, 0, len(d.stats))
+	for name := range d.stats {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]api.TenantHealth, 0, len(names))
+	for _, name := range names {
+		ts := d.stats[name]
+		th := api.TenantHealth{
+			Tenant:         name,
+			Weight:         d.q.Weight(name),
+			Queued:         ts.queued,
+			Running:        ts.running,
+			Finished:       ts.finished,
+			MaxWaitSeconds: ts.waitMax.Seconds(),
+		}
+		if ts.dispatched > 0 {
+			th.MeanWaitSeconds = ts.waitSum.Seconds() / float64(ts.dispatched)
+		}
+		out = append(out, th)
+	}
+	return out
+}

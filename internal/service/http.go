@@ -1,10 +1,12 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 
 	"pipetune/api"
 )
@@ -86,14 +88,17 @@ func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
 // handleEvents streams a job's progress as Server-Sent Events: one
 // `event: trial` frame per completed trial (replayed from the start for
 // late subscribers) and a final `event: state` frame, after which the
-// stream closes.
+// stream closes. A subscriber evicted for falling behind instead receives
+// a terminal `event: lagged` frame — without it the early close would be
+// indistinguishable from a finished job, and the client would never learn
+// it must re-subscribe and replay.
 func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
-	replay, live, cancel, err := s.Subscribe(r.PathValue("id"))
+	su, err := s.Subscribe(r.PathValue("id"))
 	if err != nil {
 		writeErr(w, err)
 		return
 	}
-	defer cancel()
+	defer su.Cancel()
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		writeErr(w, errors.New("service: streaming unsupported by this connection"))
@@ -116,7 +121,7 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 		fl.Flush()
 		return true
 	}
-	for _, ev := range replay {
+	for _, ev := range su.Replay {
 		if !send(ev) {
 			return
 		}
@@ -125,8 +130,11 @@ func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
 		select {
 		case <-r.Context().Done():
 			return
-		case ev, ok := <-live:
+		case ev, ok := <-su.Events:
 			if !ok {
+				if su.Lagged() {
+					send(api.Event{Type: api.EventLagged, JobID: r.PathValue("id")})
+				}
 				return
 			}
 			if !send(ev) {
@@ -140,16 +148,27 @@ func (s *Service) handleGroundTruth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.GroundTruthStats())
 }
 
-// handleGroundTruthExport streams the database in the snapshot wire
-// format — the same JSON a store writes to disk, so an export can seed
-// another daemon's -gt file directly.
+// handleGroundTruthExport serves the database in the snapshot wire format
+// — the same JSON a store writes to disk, so an export can seed another
+// daemon's -gt file directly. The dump is buffered before any header is
+// written: a store failure mid-encode becomes an honest HTTP 500 instead
+// of a 200 with a truncated body the importer cannot tell from a complete
+// dump, and the Content-Length lets clients detect torn transfers.
+// Buffering is safe because exports are bounded: the registry's retention
+// and the store's compaction keep the entry count small relative to
+// memory.
 func (s *Service) handleGroundTruthExport(w http.ResponseWriter, _ *http.Request) {
+	var buf bytes.Buffer
+	if err := s.ExportGroundTruth(&buf); err != nil {
+		s.cfg.Logf("service: ground-truth export failed: %v", err)
+		writeErr(w, fmt.Errorf("service: export ground truth: %v", err))
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Content-Disposition", `attachment; filename="groundtruth.json"`)
-	if err := s.ExportGroundTruth(w); err != nil {
-		// Headers are gone; all we can do is log and drop the stream.
-		s.cfg.Logf("service: ground-truth export failed: %v", err)
-	}
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
 }
 
 // handleGroundTruthImport merges a dump into the shared database — the

@@ -14,6 +14,13 @@
 // a worker picks it up (running); the run ends in done, failed or
 // cancelled. Cancel aborts a queued job immediately and interrupts a
 // running one at its next trial boundary via context cancellation.
+//
+// Dispatch order is policy-driven (internal/admission): the default
+// "fifo" policy reproduces the legacy single-queue submission-order
+// schedule exactly; "fair" runs deficit round robin over per-tenant
+// queues weighted by Config.TenantWeights; "sjf" dispatches the job with
+// the smallest cost-model estimate first, with a starvation guard. Job
+// costs come from the cost model's trial-duration prediction.
 package service
 
 import (
@@ -67,6 +74,18 @@ type Config struct {
 	// so a long-running daemon's memory stays flat. Queued and running
 	// jobs are never evicted. Default 1024.
 	MaxJobsRetained int
+	// JobPolicy selects the dispatch order across queued jobs: "fifo"
+	// (default — the legacy submission-order schedule, exactly), "fair"
+	// (weighted deficit round robin across tenants) or "sjf" (shortest
+	// predicted job first, starvation-guarded).
+	JobPolicy string
+	// TenantWeights maps tenant name to fair-share weight (default 1).
+	// Only the "fair" policy consults it.
+	TenantWeights map[string]int
+	// SubscriberBuffer is each event subscriber's channel depth; a
+	// subscriber that falls further behind is dropped with a terminal
+	// "lagged" event (default 256).
+	SubscriberBuffer int
 	// Logf receives operational log lines (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -74,6 +93,10 @@ type Config struct {
 // subscriber is one live event stream over a job.
 type subscriber struct {
 	ch chan api.Event
+	// lagged is set (under Service.mu, before ch closes) when the service
+	// dropped this subscriber for falling behind — the stream consumer
+	// must then emit api.EventLagged instead of ending silently.
+	lagged bool
 }
 
 // job is the registry's unit: request, state machine, result, event log.
@@ -82,6 +105,8 @@ type job struct {
 	req       api.JobRequest
 	spec      tune.JobSpec
 	mode      string
+	tenant    string  // resolved accounting principal ("default" if unset)
+	predicted float64 // cost model's per-trial duration estimate (dispatch cost)
 	state     api.JobState
 	submitted time.Time
 	started   time.Time
@@ -99,18 +124,37 @@ type Service struct {
 	cfg      Config
 	gt       gt.Store       // the store every job reads and feeds
 	persist  *gt.Persistent // non-nil when GTPath is set; == gt then
-	queue    chan *job
 	wg       sync.WaitGroup
 	baseCtx  context.Context
 	stop     context.CancelFunc
 	shutdown sync.Once
 
 	mu      sync.Mutex
+	disp    *dispatcher // tenant-aware job queue; all methods under mu
 	jobs    map[string]*job
 	order   []string // submission order, for stable listing
 	nextID  int
 	running int
+	paused  bool
 	closed  bool
+}
+
+// Pause holds dispatch: submissions are still accepted and queued, but no
+// new job starts until Resume. Running jobs are unaffected. Operators use
+// it to drain workers before maintenance; tests use it to form a
+// deterministic backlog.
+func (s *Service) Pause() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.paused = true
+}
+
+// Resume releases a Pause; queued jobs dispatch in policy order.
+func (s *Service) Resume() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.paused = false
+	s.disp.cond.Broadcast()
 }
 
 // New builds the service, restores the ground-truth snapshot from
@@ -134,12 +178,19 @@ func New(cfg Config) (*Service, error) {
 	if cfg.CompactEvery <= 0 {
 		cfg.CompactEvery = 256
 	}
-	s := &Service{
-		cfg:   cfg,
-		gt:    cfg.System.GroundTruth(),
-		queue: make(chan *job, cfg.QueueDepth),
-		jobs:  make(map[string]*job),
+	if cfg.SubscriberBuffer <= 0 {
+		cfg.SubscriberBuffer = 256
 	}
+	s := &Service{
+		cfg:  cfg,
+		gt:   cfg.System.GroundTruth(),
+		jobs: make(map[string]*job),
+	}
+	disp, err := newDispatcher(&s.mu, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.disp = disp
 	s.baseCtx, s.stop = context.WithCancel(context.Background())
 	if cfg.GTPath != "" {
 		ps, err := gt.OpenPersistent(cfg.GTPath, s.gt, gt.PersistOptions{
@@ -231,16 +282,36 @@ func (s *Service) buildSpec(req api.JobRequest) (tune.JobSpec, string, error) {
 	return spec, mode, nil
 }
 
+// DefaultTenant is the accounting principal of requests that name none.
+const DefaultTenant = "default"
+
 // Submit validates and enqueues a job, returning its queued status.
 func (s *Service) Submit(req api.JobRequest) (api.JobStatus, error) {
 	spec, mode, err := s.buildSpec(req)
 	if err != nil {
 		return api.JobStatus{}, err
 	}
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = DefaultTenant
+	}
+	// The cost model prices the job for sjf/fair dispatch (and the status
+	// surface). A workload it cannot price dispatches at unit cost.
+	predicted, err := s.cfg.System.PredictTrialDuration(spec.Workload, spec.BaseHyper, spec.BaseSys)
+	if err != nil {
+		predicted = 0
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return api.JobStatus{}, ErrShutdown
+	}
+	// Admission is decided before the ID is allocated: a queue-full
+	// rejection must not burn a job-%06d sequence number, or the accepted
+	// sequence would grow gaps under load spikes.
+	if s.disp.q.Full() {
+		s.mu.Unlock()
+		return api.JobStatus{}, ErrQueueFull
 	}
 	s.nextID++
 	jb := &job{
@@ -248,28 +319,40 @@ func (s *Service) Submit(req api.JobRequest) (api.JobStatus, error) {
 		req:       req,
 		spec:      spec,
 		mode:      mode,
+		tenant:    tenant,
+		predicted: predicted,
 		state:     api.StateQueued,
 		submitted: time.Now().UTC(),
 		subs:      make(map[*subscriber]struct{}),
 	}
-	select {
-	case s.queue <- jb:
-	default:
+	if err := s.disp.pushLocked(jb); err != nil {
+		s.nextID-- // unreachable (capacity held under mu), but keep the sequence honest
 		s.mu.Unlock()
-		return api.JobStatus{}, ErrQueueFull
+		return api.JobStatus{}, err
 	}
 	s.jobs[jb.id] = jb
 	s.order = append(s.order, jb.id)
-	st := s.statusLocked(jb)
+	st := s.statusLocked(jb, false)
 	s.mu.Unlock()
-	s.cfg.Logf("service: %s queued (%s %s)", jb.id, mode, req.Workload)
+	s.cfg.Logf("service: %s queued (%s %s tenant=%s)", jb.id, mode, req.Workload, tenant)
 	return st, nil
 }
 
-// worker drains the queue until Shutdown closes it.
+// worker dispatches jobs in policy order until Shutdown.
 func (s *Service) worker() {
 	defer s.wg.Done()
-	for jb := range s.queue {
+	for {
+		s.mu.Lock()
+		for !s.closed && (s.paused || s.disp.q.Len() == 0) {
+			s.disp.cond.Wait()
+		}
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		next, _ := s.disp.q.Pop()
+		jb := s.jobs[next.ID]
+		s.mu.Unlock()
 		s.runJob(jb)
 	}
 }
@@ -288,6 +371,7 @@ func (s *Service) runJob(jb *job) {
 	jb.started = time.Now().UTC()
 	jb.cancel = cancel
 	s.running++
+	s.disp.onDispatchLocked(jb.tenant, jb.started.Sub(jb.submitted))
 	spec := jb.spec
 	s.mu.Unlock()
 
@@ -365,6 +449,12 @@ func (s *Service) publishTrial(jb *job, trialID int, res *trainer.Result) {
 // critical section, so a Subscribe can never observe a terminal job whose
 // replay lacks the terminal event. Callers hold s.mu.
 func (s *Service) finishLocked(jb *job, state api.JobState, errMsg string) {
+	if jb.state == api.StateQueued {
+		// A job cancelled before dispatch must never pop (the worker's
+		// state check is only a backstop for the pop-vs-cancel race).
+		s.disp.q.Remove(jb.id)
+	}
+	s.disp.onFinishLocked(jb.tenant, jb.state)
 	jb.state = state
 	jb.errMsg = errMsg
 	jb.finished = time.Now().UTC()
@@ -378,8 +468,10 @@ func (s *Service) finishLocked(jb *job, state api.JobState, errMsg string) {
 
 // appendEventLocked sequences the event into the replay log and delivers
 // it to live subscribers. A subscriber too slow to drain its buffer is
-// dropped (its channel closes early; it can re-subscribe and replay).
-// Callers hold s.mu.
+// dropped — marked lagged *before* its channel closes, so the stream
+// layer emits a terminal api.EventLagged frame instead of ending the
+// stream indistinguishably from a normal job completion. The subscriber
+// re-subscribes and replays to learn the true outcome. Callers hold s.mu.
 func (s *Service) appendEventLocked(jb *job, ev api.Event) {
 	ev.Seq = len(jb.events) + 1
 	jb.events = append(jb.events, ev)
@@ -387,6 +479,7 @@ func (s *Service) appendEventLocked(jb *job, ev api.Event) {
 		select {
 		case sub.ch <- ev:
 		default:
+			sub.lagged = true
 			close(sub.ch)
 			delete(jb.subs, sub)
 		}
@@ -416,45 +509,85 @@ func (s *Service) pruneLocked() {
 	s.order = kept
 }
 
-// Subscribe opens an event stream over a job: the replay of everything
-// already emitted, plus a live channel that closes after the terminal
-// state event (or when cancel is called, or if the subscriber falls too
-// far behind). For already-finished jobs the channel arrives closed and
-// the replay is complete.
-func (s *Service) Subscribe(id string) (replay []api.Event, live <-chan api.Event, cancel func(), err error) {
+// Subscription is one live event stream over a job: the replay of
+// everything already emitted plus a channel that closes after the
+// terminal state event — or early, when Cancel is called or the service
+// dropped the subscriber for lagging (Lagged then reports true and the
+// consumer must surface api.EventLagged and re-subscribe for the truth).
+type Subscription struct {
+	Replay []api.Event
+	Events <-chan api.Event
+
+	s   *Service
+	jb  *job
+	sub *subscriber
+}
+
+// Cancel detaches the subscription; the Events channel closes. Idempotent
+// and safe after the stream already ended.
+func (su *Subscription) Cancel() {
+	su.s.mu.Lock()
+	defer su.s.mu.Unlock()
+	if _, live := su.jb.subs[su.sub]; live {
+		close(su.sub.ch)
+		delete(su.jb.subs, su.sub)
+	}
+}
+
+// Lagged reports whether the service dropped this subscription for
+// falling behind. Meaningful once Events has closed.
+func (su *Subscription) Lagged() bool {
+	su.s.mu.Lock()
+	defer su.s.mu.Unlock()
+	return su.sub.lagged
+}
+
+// Subscribe opens an event stream over a job. For already-finished jobs
+// the channel arrives closed and the replay is complete.
+func (s *Service) Subscribe(id string) (*Subscription, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	jb, ok := s.jobs[id]
 	if !ok {
-		return nil, nil, nil, ErrNotFound
+		return nil, ErrNotFound
 	}
-	replay = append([]api.Event(nil), jb.events...)
-	sub := &subscriber{ch: make(chan api.Event, 256)}
+	sub := &subscriber{ch: make(chan api.Event, s.cfg.SubscriberBuffer)}
+	su := &Subscription{
+		Replay: append([]api.Event(nil), jb.events...),
+		Events: sub.ch,
+		s:      s,
+		jb:     jb,
+		sub:    sub,
+	}
 	if jb.state.Terminal() {
 		close(sub.ch)
-		return replay, sub.ch, func() {}, nil
+		return su, nil
 	}
 	jb.subs[sub] = struct{}{}
-	cancel = func() {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		if _, live := jb.subs[sub]; live {
-			close(sub.ch)
-			delete(jb.subs, sub)
-		}
-	}
-	return replay, sub.ch, cancel, nil
+	return su, nil
 }
 
-// statusLocked renders a job's API view. Callers hold s.mu.
-func (s *Service) statusLocked(jb *job) api.JobStatus {
+// statusLocked renders a job's API view. withResult controls whether a
+// done job's result is attached (as a deep copy — see below): single-job
+// surfaces carry it, the list endpoint stays a summary so listing 1024
+// retained jobs does not copy every trial history under s.mu. Callers
+// hold s.mu.
+func (s *Service) statusLocked(jb *job, withResult bool) api.JobStatus {
 	st := api.JobStatus{
-		ID:         jb.id,
-		State:      jb.state,
-		Request:    jb.req,
-		Submitted:  jb.submitted,
-		TrialsDone: jb.trials,
-		Error:      jb.errMsg,
+		ID:                jb.id,
+		State:             jb.state,
+		Tenant:            jb.tenant,
+		Priority:          jb.req.Priority,
+		Request:           jb.req,
+		Submitted:         jb.submitted,
+		TrialsDone:        jb.trials,
+		Error:             jb.errMsg,
+		PredictedDuration: jb.predicted,
+	}
+	if jb.state == api.StateQueued {
+		if pos := s.disp.q.Position(jb.id); pos >= 0 {
+			st.QueuePosition = &pos
+		}
 	}
 	if !jb.started.IsZero() {
 		t := jb.started
@@ -464,8 +597,11 @@ func (s *Service) statusLocked(jb *job) api.JobStatus {
 		t := jb.finished
 		st.Finished = &t
 	}
-	if jb.state == api.StateDone {
-		st.Result = jb.result
+	if withResult && jb.state == api.StateDone {
+		// Deep copy: the registry keeps mutating-capable ownership of the
+		// result (and hands it to every caller), so sharing the pointer
+		// would let one API consumer corrupt what all later ones read.
+		st.Result = jb.result.Clone()
 	}
 	return st
 }
@@ -478,7 +614,7 @@ func (s *Service) Job(id string) (api.JobStatus, error) {
 	if !ok {
 		return api.JobStatus{}, ErrNotFound
 	}
-	return s.statusLocked(jb), nil
+	return s.statusLocked(jb, true), nil
 }
 
 // Jobs lists every job in submission order.
@@ -487,7 +623,7 @@ func (s *Service) Jobs() []api.JobStatus {
 	defer s.mu.Unlock()
 	out := make([]api.JobStatus, 0, len(s.order))
 	for _, id := range s.order {
-		out = append(out, s.statusLocked(s.jobs[id]))
+		out = append(out, s.statusLocked(s.jobs[id], false))
 	}
 	return out
 }
@@ -505,12 +641,12 @@ func (s *Service) Cancel(id string) (api.JobStatus, error) {
 	}
 	switch {
 	case jb.state.Terminal():
-		st := s.statusLocked(jb)
+		st := s.statusLocked(jb, true)
 		s.mu.Unlock()
 		return st, ErrTerminal
 	case jb.state == api.StateQueued:
 		s.finishLocked(jb, api.StateCancelled, "")
-		st := s.statusLocked(jb)
+		st := s.statusLocked(jb, true)
 		s.mu.Unlock()
 		s.cfg.Logf("service: %s cancelled while queued", id)
 		return st, nil
@@ -518,7 +654,7 @@ func (s *Service) Cancel(id string) (api.JobStatus, error) {
 		if jb.cancel != nil {
 			jb.cancel()
 		}
-		st := s.statusLocked(jb)
+		st := s.statusLocked(jb, true)
 		s.mu.Unlock()
 		return st, nil
 	}
@@ -588,7 +724,8 @@ func (s *Service) addAll(entries []gt.Entry) (int, error) {
 	return added, nil
 }
 
-// Health reports queue depths for the liveness endpoint.
+// Health reports queue depths, the dispatch policy and per-tenant
+// wait-time statistics for the liveness endpoint.
 func (s *Service) Health() api.Health {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -598,7 +735,14 @@ func (s *Service) Health() api.Health {
 			queued++
 		}
 	}
-	return api.Health{Status: "ok", Queued: queued, Running: s.running, Workers: s.cfg.Workers}
+	return api.Health{
+		Status:    "ok",
+		Queued:    queued,
+		Running:   s.running,
+		Workers:   s.cfg.Workers,
+		JobPolicy: string(s.disp.q.Policy()),
+		Tenants:   s.disp.healthLocked(),
+	}
 }
 
 // Shutdown stops the service: no new submissions, running jobs are
@@ -613,10 +757,10 @@ func (s *Service) Shutdown() {
 	s.shutdown.Do(func() {
 		s.mu.Lock()
 		s.closed = true
+		s.disp.cond.Broadcast() // wake idle workers so they observe closed
 		s.mu.Unlock()
 
 		s.stop()        // interrupt running jobs and the snapshot ticker
-		close(s.queue)  // let workers exit after draining
 		s.wg.Wait()     // workers finish their current (now cancelled) jobs
 		s.drainQueued() // jobs still queued become cancelled
 		if s.persist != nil {

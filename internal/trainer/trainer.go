@@ -55,6 +55,23 @@ type Result struct {
 	Epochs   []EpochStats      `json:"epochs"`
 }
 
+// Clone returns a deep copy sharing no mutable memory with the receiver,
+// so a caller handed a Result can never corrupt the original.
+func (r *Result) Clone() *Result {
+	if r == nil {
+		return nil
+	}
+	cp := *r
+	if r.Epochs != nil { // preserve nil-ness: Save/Load round-trips stay bit-identical
+		cp.Epochs = make([]EpochStats, len(r.Epochs))
+		for i, e := range r.Epochs {
+			e.Profile = append(perf.Profile(nil), e.Profile...)
+			cp.Epochs[i] = e
+		}
+	}
+	return &cp
+}
+
 // EpochObserver receives epoch-boundary callbacks. Returning a non-nil
 // configuration switches the trial's system parameters for subsequent
 // epochs (the cluster allocation is the caller's concern). Observers run

@@ -1,0 +1,59 @@
+package tune
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestJobResultClone verifies Clone is a genuinely deep copy (mutating
+// the clone never reaches the original) and that it is JSON-faithful:
+// the clone serialises bit-identically, including nil-versus-empty
+// distinctions the wire format exposes.
+func TestJobResultClone(t *testing.T) {
+	r := testRunner()
+	res, err := r.RunJob(baseSpec(ModeV1, MaximizeAccuracy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil || len(res.Trials) == 0 {
+		t.Fatal("degenerate job result")
+	}
+
+	orig, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := res.Clone()
+	cloned, err := json.Marshal(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(orig) != string(cloned) {
+		t.Fatal("clone does not serialise identically to the original")
+	}
+
+	// Vandalise every mutable reach of the clone.
+	cp.Best.Score = -1
+	cp.Trials[0].Score = -1
+	for k := range cp.Trials[0].Assignment {
+		cp.Trials[0].Assignment[k] = -1
+	}
+	if cp.Trials[0].Result != nil && len(cp.Trials[0].Result.Epochs) > 0 {
+		cp.Trials[0].Result.Epochs[0].Accuracy = -1
+	}
+	if len(cp.Progress) > 0 {
+		cp.Progress[0].BestAccuracy = -1
+	}
+	after, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(after) != string(orig) {
+		t.Fatal("mutating the clone reached the original: copy not deep")
+	}
+
+	// Nil results clone to nil.
+	if (*JobResult)(nil).Clone() != nil {
+		t.Fatal("nil clone not nil")
+	}
+}

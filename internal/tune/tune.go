@@ -198,6 +198,39 @@ type JobResult struct {
 	Progress    []ProgressPoint `json:"progress"`
 }
 
+// Clone deep-copies the record: the assignment map and trainer result are
+// duplicated, so mutating the copy never reaches the original.
+func (t TrialRecord) Clone() TrialRecord {
+	if t.Assignment != nil { // preserve nil-ness for bit-identical JSON
+		t.Assignment = t.Assignment.Clone()
+	}
+	t.Result = t.Result.Clone()
+	return t
+}
+
+// Clone returns a deep copy of the result. Registries that retain results
+// while handing them to API callers use it so no caller can mutate shared
+// state (Spec is copied shallowly: it is configuration, excluded from the
+// wire format, and treated as immutable after submission).
+func (r *JobResult) Clone() *JobResult {
+	if r == nil {
+		return nil
+	}
+	cp := *r
+	if r.Trials != nil { // preserve nil-ness for bit-identical JSON
+		cp.Trials = make([]TrialRecord, len(r.Trials))
+		for i, t := range r.Trials {
+			cp.Trials[i] = t.Clone()
+		}
+	}
+	if r.Best != nil {
+		b := r.Best.Clone()
+		cp.Best = &b
+	}
+	cp.Progress = append([]ProgressPoint(nil), r.Progress...)
+	return &cp
+}
+
 // Runner executes HPT jobs.
 type Runner struct {
 	Trainer *trainer.Runner

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"io"
 
+	"pipetune/internal/admission"
 	"pipetune/internal/cluster"
 	"pipetune/internal/core"
 	"pipetune/internal/dataset"
@@ -180,6 +181,22 @@ const (
 	SchedFIFO     = sched.NameFIFO
 	SchedSJF      = sched.NameSJF
 	SchedBackfill = sched.NameBackfill
+)
+
+// Job dispatch policies of the pipetuned service (internal/admission):
+// how the daemon arbitrates *whole tuning jobs* across tenants, the
+// job-granularity analogue of the trial policies above. Accepted by
+// service.Config.JobPolicy and the pipetuned -job-policy flag.
+const (
+	// JobPolicyFIFO dispatches in global submission order (default; exact
+	// legacy single-queue schedule).
+	JobPolicyFIFO = string(admission.PolicyFIFO)
+	// JobPolicyFair shares workers by weighted deficit round robin over
+	// per-tenant queues.
+	JobPolicyFair = string(admission.PolicyFair)
+	// JobPolicySJF dispatches the smallest cost-model estimate first,
+	// with a starvation guard.
+	JobPolicySJF = string(admission.PolicySJF)
 )
 
 // WithScheduler selects the trial placement policy of the event-driven
