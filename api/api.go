@@ -15,6 +15,22 @@
 //	POST   /v1/groundtruth/import  merge entries in        -> ImportResult
 //	GET    /healthz             liveness + queue depths    -> Health
 //
+// When the daemon runs the remote execution backend (-exec-backend=
+// remote) it additionally serves the worker-facing work API that
+// pipetune-worker processes speak — registration, trial leases, epoch
+// streaming, result commit, heartbeats — plus an operator-facing fleet
+// surface:
+//
+//	POST   /v1/workers                              register -> WorkerRegisterResponse
+//	POST   /v1/workers/{id}/heartbeat               liveness
+//	POST   /v1/workers/{id}/lease                   lease a trial -> WorkerAssignment | 204
+//	POST   /v1/workers/{id}/leases/{lease}/epoch    epoch report  -> WorkerEpochDirective
+//	POST   /v1/workers/{id}/leases/{lease}/complete result commit (at most once)
+//	GET    /v1/fleet                                fleet status  -> FleetStatus
+//
+// Worker routes require "Authorization: Bearer <token>" when the daemon
+// was started with -worker-token; /v1/fleet stays open like /healthz.
+//
 // Job results are the library's own tune.JobResult serialisation, so a
 // result fetched over HTTP is bit-identical to one produced by calling
 // pipetune.System.RunPipeTune in-process with the same spec, seed AND
@@ -29,6 +45,7 @@ import (
 	"fmt"
 	"time"
 
+	"pipetune/internal/exec"
 	"pipetune/internal/gt"
 	"pipetune/internal/tune"
 	"pipetune/internal/workload"
@@ -214,6 +231,31 @@ type ImportResult struct {
 	Stats GroundTruthStats `json:"stats"`
 }
 
+// Worker wire types: the work API spoken between the daemon's remote
+// execution backend and pipetune-worker processes, plus the fleet
+// status surface. They alias the execution plane's own definitions —
+// internal/exec owns the protocol.
+type (
+	// WorkerRegisterRequest is the body of POST /v1/workers.
+	WorkerRegisterRequest = exec.RegisterRequest
+	// WorkerRegisterResponse assigns a worker its fleet identity.
+	WorkerRegisterResponse = exec.RegisterResponse
+	// WorkerAssignment is one leased trial.
+	WorkerAssignment = exec.Assignment
+	// WorkerEpochReport streams one epoch-boundary observation back.
+	WorkerEpochReport = exec.EpochReport
+	// WorkerEpochDirective is the daemon's reply: an optional system
+	// reconfiguration (PipeTune's pipelined tuning) or a revocation.
+	WorkerEpochDirective = exec.EpochDirective
+	// WorkerCompleteRequest commits a finished trial at most once.
+	WorkerCompleteRequest = exec.CompleteRequest
+	// FleetStatus is the execution plane's health surface (GET /v1/fleet
+	// and Health.Fleet).
+	FleetStatus = exec.FleetStatus
+	// WorkerStatus is one worker's row in FleetStatus.
+	WorkerStatus = exec.WorkerStatus
+)
+
 // Health is the GET /healthz body.
 type Health struct {
 	Status  string `json:"status"` // always "ok" when the server responds
@@ -223,9 +265,15 @@ type Health struct {
 	// JobPolicy names the active job dispatch policy ("fifo", "fair",
 	// "sjf").
 	JobPolicy string `json:"jobPolicy"`
+	// ExecBackend names the active trial execution backend ("local",
+	// "remote").
+	ExecBackend string `json:"execBackend,omitempty"`
 	// Tenants reports per-tenant queue depths and wait-time statistics,
 	// sorted by tenant name. Only tenants that have ever submitted appear.
 	Tenants []TenantHealth `json:"tenants,omitempty"`
+	// Fleet reports the remote execution plane — registered workers,
+	// lease depths, drain state. Absent on the local backend.
+	Fleet *FleetStatus `json:"fleet,omitempty"`
 }
 
 // TenantHealth is one tenant's slice of the service in the Health body.

@@ -295,6 +295,14 @@ func (c *Client) Health(ctx context.Context) (api.Health, error) {
 	return h, err
 }
 
+// Fleet reports the remote execution plane: registered workers, lease
+// depths and drain state. Daemons on the local backend answer 404.
+func (c *Client) Fleet(ctx context.Context) (api.FleetStatus, error) {
+	var fs api.FleetStatus
+	err := c.do(ctx, http.MethodGet, "/v1/fleet", nil, &fs, true)
+	return fs, err
+}
+
 // Wait polls until the job reaches a terminal state and returns the final
 // status. poll <= 0 defaults to 200ms.
 func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (api.JobStatus, error) {

@@ -47,6 +47,7 @@ func registry() []renderer {
 		{"fig14", wrap(tableOf(experiments.Figure14)), "multi tenancy, Type-III"},
 		{"sched-policies", wrap(tableOf(experiments.SchedulingPolicies)), "placement policies under contention"},
 		{"fair-share", wrap(tableOf(experiments.FairShare)), "weighted fair job dispatch across tenants"},
+		{"scale-out", wrap(tableOf(experiments.ScaleOut)), "trial throughput vs pipetune-worker fleet size"},
 		{"ablation-gt", wrap(tableOf(experiments.AblationNoGroundTruth)), "ground truth on/off"},
 		{"ablation-searchers", wrap(tableOf(experiments.AblationSearchers)), "search algorithms"},
 		{"ablation-threshold", wrap(tableOf(experiments.AblationThreshold)), "similarity threshold sweep"},

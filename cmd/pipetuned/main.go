@@ -11,6 +11,22 @@
 //	          [-gt-snapshot-interval 0] [-queue 64] [-bootstrap]
 //	          [-scheduler fifo] [-job-policy fifo]
 //	          [-tenant-weight name=w ...]
+//	          [-exec-backend local] [-worker-token secret]
+//	          [-worker-heartbeat 2s] [-worker-evict-after 3]
+//
+// Trial execution is a pluggable plane: the default -exec-backend=local
+// computes every trial body on an in-process pool, while
+// -exec-backend=remote fans trial bodies out to a fleet of
+// pipetune-worker processes that register with this daemon, lease
+// trials over the work API, stream per-epoch observations back (so
+// PipeTune's pipelined system tuning still fires mid-trial) and
+// heartbeat. A worker silent for -worker-evict-after heartbeats is
+// evicted and its leases requeued; results commit at most once. Scale
+// out by simply starting more workers:
+//
+//	pipetuned -exec-backend=remote -worker-token s3cret
+//	pipetune-worker -server http://localhost:8080 -token s3cret -capacity 4
+//	pipetune-worker -server http://localhost:8080 -token s3cret -capacity 4
 //
 // Job dispatch across tenants is policy-driven: the default -job-policy
 // fifo reproduces the classic submission-order schedule exactly;
@@ -52,6 +68,7 @@ import (
 	"time"
 
 	"pipetune"
+	"pipetune/internal/exec"
 	"pipetune/internal/gt"
 	"pipetune/internal/httpserve"
 	"pipetune/internal/service"
@@ -101,7 +118,11 @@ func run() error {
 		schedFlag     = flag.String("scheduler", pipetune.SchedFIFO, "trial placement policy: fifo, sjf or backfill")
 		jobPolicyFlag = flag.String("job-policy", pipetune.JobPolicyFIFO, "job dispatch policy across tenants: fifo, fair or sjf")
 		bootstrapFlag = flag.Bool("bootstrap", false, "warm-start the ground truth by profiling the Table 3 catalog")
-		drainFlag     = flag.Duration("drain", httpserve.DefaultShutdownTimeout, "graceful-shutdown drain timeout")
+		drainFlag     = flag.Duration("drain", httpserve.DefaultShutdownTimeout, "graceful-shutdown drain timeout (HTTP and in-flight remote trials)")
+		execFlag      = flag.String("exec-backend", "local", "trial execution backend: local (in-process pool) or remote (pipetune-worker fleet)")
+		tokenFlag     = flag.String("worker-token", "", "shared bearer token pipetune-worker processes must present (empty = open)")
+		beatFlag      = flag.Duration("worker-heartbeat", 2*time.Second, "heartbeat cadence expected from workers")
+		evictFlag     = flag.Int("worker-evict-after", 3, "consecutive missed heartbeats before a worker is evicted and its leases requeued")
 		weights       = weightFlags{}
 	)
 	flag.Var(weights, "tenant-weight", "fair-share weight as name=w (repeatable; unlisted tenants weigh 1)")
@@ -116,6 +137,19 @@ func run() error {
 		store = gt.NewMonolith(gt.DefaultConfig(), *seedFlag)
 	default:
 		return fmt.Errorf("unknown -gt-store %q (want sharded or monolith)", *gtStoreFlag)
+	}
+	var remote *exec.Remote
+	switch *execFlag {
+	case "local":
+	case "remote":
+		remote = exec.NewRemote(exec.RemoteConfig{
+			HeartbeatInterval: *beatFlag,
+			MissedHeartbeats:  *evictFlag,
+			Token:             *tokenFlag,
+			Logf:              logger.Printf,
+		})
+	default:
+		return fmt.Errorf("unknown -exec-backend %q (want local or remote)", *execFlag)
 	}
 	sys, err := pipetune.New(
 		pipetune.WithSeed(*seedFlag),
@@ -134,6 +168,8 @@ func run() error {
 		SnapshotInterval: *gtSnapFlag,
 		JobPolicy:        *jobPolicyFlag,
 		TenantWeights:    weights,
+		Remote:           remote,
+		DrainTimeout:     *drainFlag,
 		Logf:             logger.Printf,
 	})
 	if err != nil {
@@ -149,17 +185,23 @@ func run() error {
 	}
 
 	srv := &http.Server{Addr: *addrFlag, Handler: svc.Handler()}
-	// Stop the executor as part of the HTTP drain, not after it: open SSE
-	// streams only end when their job turns terminal, so cancelling jobs
-	// must overlap the drain or streaming clients would stall Shutdown
-	// until the drain timeout every time.
-	srv.RegisterOnShutdown(svc.Shutdown)
+	// Stop the executor BEFORE the listener closes (preShutdown), not via
+	// http.Server.RegisterOnShutdown, for two reasons: remote workers
+	// must still reach the work API to commit in-flight trials during the
+	// execution-plane drain (Shutdown closes listeners before its hooks
+	// run), and open SSE streams only end when their job turns terminal,
+	// so cancelling jobs must precede the HTTP drain or streaming clients
+	// would stall it until the timeout every time.
 	err = httpserve.ListenAndServe(context.Background(), srv, *drainFlag, func(addr net.Addr) {
-		logger.Printf("serving the tuning API on %s (%d workers, job-policy=%s, gt=%s store=%s)", addr, *workersFlag, *jobPolicyFlag, orNone(*gtFlag), *gtStoreFlag)
+		logger.Printf("serving the tuning API on %s (%d workers, job-policy=%s, exec-backend=%s, gt=%s store=%s)", addr, *workersFlag, *jobPolicyFlag, *execFlag, orNone(*gtFlag), *gtStoreFlag)
 		logger.Printf("try  curl -s -X POST localhost%s/v1/jobs -d '{\"workload\":\"lenet/mnist\"}'", httpserve.Port(addr))
-	})
-	// Blocks until the RegisterOnShutdown call (if any) has fully finished;
-	// also covers the listener-error path where no drain ever ran.
+		if remote != nil {
+			logger.Printf("awaiting workers: pipetune-worker -server http://localhost%s", httpserve.Port(addr))
+		}
+	}, svc.Shutdown)
+	// Idempotent backstop for the listener-error path, where Serve's
+	// preShutdown hook never ran; after a normal drain this returns
+	// immediately (sync.Once).
 	svc.Shutdown()
 	logger.Printf("stopped")
 	return err

@@ -148,6 +148,19 @@ func (c *Controller) state(trialID int) *trialState {
 	return st
 }
 
+// Restart discards a trial's pipelined-tuning state so its body can be
+// re-run from epoch one (a remote lease requeued after worker eviction):
+// the replay re-profiles, re-queries the ground truth and re-probes from
+// scratch, exactly as the first attempt did. Ground-truth adds only
+// happen between searcher batches, so within a batch the replay observes
+// the same database state and reproduces the original attempt
+// bit-identically.
+func (c *Controller) Restart(trialID int) {
+	c.mu.Lock()
+	delete(c.trials, trialID)
+	c.mu.Unlock()
+}
+
 // ObserverFor returns the epoch observer for one trial; pass this to
 // tune.JobSpec.TrialObserver.
 func (c *Controller) ObserverFor(trialID int) trainer.EpochObserver {
@@ -357,6 +370,7 @@ func (p *PipeTune) RunJobCtx(ctx context.Context, spec tune.JobSpec) (*tune.JobR
 		spec.Policy = p.Policy
 	}
 	spec.TrialObserver = ctrl.ObserverFor
+	spec.TrialRestart = ctrl.Restart
 	prevDone := spec.OnTrialDone
 	spec.OnTrialDone = func(trialID int, res *trainer.Result) {
 		ctrl.Finish(trialID, res)

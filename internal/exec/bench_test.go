@@ -1,0 +1,74 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// benchBatch sizes one benchmark iteration: a searcher-batch-shaped
+// fleet of independent trial bodies.
+const benchBatch = 8
+
+// BenchmarkExecBackends prices the execution plane: the same 8-trial
+// batch of real lenet/mnist bodies (2 epochs, 96/48 corpus) computed on
+// the local in-process pool versus remote fleets of 1, 2 and 4
+// in-process agents speaking the full HTTP work API. On a single-CPU box
+// the remote rows measure protocol overhead (lease + commit round trips
+// per trial); the throughput *scaling* claim is the deterministic
+// experiments.ScaleOut trace, which is CPU-independent.
+func BenchmarkExecBackends(b *testing.B) {
+	b.Run("local", func(b *testing.B) {
+		benchBackend(b, NewLocal(smallTrainer()))
+	})
+	for _, agents := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("remote-%dw", agents), func(b *testing.B) {
+			r := NewRemote(RemoteConfig{
+				HeartbeatInterval: 200 * time.Millisecond,
+				LeaseWait:         100 * time.Millisecond,
+			})
+			defer r.Close()
+			srv := httptest.NewServer(r.Handler())
+			defer srv.Close()
+			ctx, cancel := context.WithCancel(context.Background())
+			var wg sync.WaitGroup
+			defer func() { // stop the agents, then reap them
+				cancel()
+				wg.Wait()
+			}()
+			for i := 0; i < agents; i++ {
+				agent := NewAgent(AgentConfig{Server: srv.URL, Capacity: 2})
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					_ = agent.Run(ctx)
+				}()
+			}
+			benchBackend(b, r)
+		})
+	}
+}
+
+func benchBackend(b *testing.B, backend Backend) {
+	trials := realTrials(smallTrainer(), benchBatch)
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		results, errs := backend.Run(context.Background(), trials, 4)
+		for j := range errs {
+			if errs[j] != nil {
+				b.Fatalf("trial %d: %v", j, errs[j])
+			}
+			if results[j] == nil {
+				b.Fatal("nil result")
+			}
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N*benchBatch)/elapsed, "trials/s")
+	}
+}

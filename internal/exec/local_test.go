@@ -1,0 +1,79 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"pipetune/internal/dataset"
+	"pipetune/internal/params"
+	"pipetune/internal/trainer"
+	"pipetune/internal/workload"
+)
+
+// smallTrainer builds a fast trainer for trial-body tests.
+func smallTrainer() *trainer.Runner {
+	tr := trainer.NewRunner()
+	tr.Data = dataset.Config{TrainSize: 96, TestSize: 48}
+	return tr
+}
+
+// realTrials builds n genuinely runnable trials against tr's config.
+func realTrials(tr *trainer.Runner, n int) []Trial {
+	h := params.DefaultHyper()
+	h.Epochs = 2
+	out := make([]Trial, n)
+	for i := range out {
+		out[i] = Trial{
+			ID:       i,
+			Workload: workload.Workload{Model: workload.LeNet5, Dataset: workload.MNIST},
+			Hyper:    h,
+			Sys:      params.DefaultSysConfig(),
+			Seed:     uint64(1000 + i),
+			Trainer:  CaptureTrainerConfig(tr),
+		}
+	}
+	return out
+}
+
+// TestLocalMatchesDirectTrainerRun pins the Local backend to the
+// pre-refactor behaviour: running a trial through the backend is the
+// same trainer invocation, bit for bit.
+func TestLocalMatchesDirectTrainerRun(t *testing.T) {
+	tr := smallTrainer()
+	trials := realTrials(tr, 3)
+	results, errs := NewLocal(tr).Run(context.Background(), trials, 2)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("trial %d: %v", i, err)
+		}
+	}
+	ref := smallTrainer()
+	for i, trial := range trials {
+		want, err := ref.Run(trial.Workload, trial.Hyper, trial.Sys, trial.Seed, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(results[i], want) {
+			t.Fatalf("trial %d: backend result diverges from direct trainer.Run", i)
+		}
+	}
+}
+
+// TestLocalCancelledContext pins the cancellation contract: trials not
+// yet started fail with the context's error.
+func TestLocalCancelledContext(t *testing.T) {
+	tr := smallTrainer()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, errs := NewLocal(tr).Run(ctx, realTrials(tr, 4), 2)
+	for i := range errs {
+		if !errors.Is(errs[i], context.Canceled) {
+			t.Fatalf("trial %d: %v, want context.Canceled", i, errs[i])
+		}
+		if results[i] != nil {
+			t.Fatalf("trial %d has a result despite cancellation", i)
+		}
+	}
+}

@@ -1,0 +1,692 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"pipetune/internal/trainer"
+)
+
+// Errors of the remote execution plane.
+var (
+	// ErrUnknownWorker rejects calls from workers that never registered
+	// or were evicted; the worker must re-register.
+	ErrUnknownWorker = errors.New("exec: unknown or evicted worker")
+	// ErrLeaseRevoked rejects epoch reports and commits whose lease was
+	// reassigned (worker evicted) or voided (job cancelled). The caller's
+	// copy of the trial is dead weight; the authoritative attempt lives
+	// elsewhere. This is the at-most-once commit guard.
+	ErrLeaseRevoked = errors.New("exec: lease revoked")
+	// ErrDraining fails trials that cannot run because the backend is
+	// shutting down: still-pending leases at drain start, in-flight
+	// leases that outlive the drain deadline, and any batch submitted
+	// after. Jobs carrying it turn failed — never silently lost.
+	ErrDraining = errors.New("exec: execution plane draining: trial not run")
+)
+
+// RemoteConfig sizes the remote backend.
+type RemoteConfig struct {
+	// HeartbeatInterval is the beat cadence advertised to workers
+	// (default 2s).
+	HeartbeatInterval time.Duration
+	// MissedHeartbeats is K: a worker silent for K consecutive intervals
+	// is evicted and its leases requeued (default 3).
+	MissedHeartbeats int
+	// LeaseWait bounds the long poll of one lease request (default 5s).
+	LeaseWait time.Duration
+	// Token, when non-empty, is the bearer token every worker-facing
+	// HTTP call must present (Authorization: Bearer <token>).
+	Token string
+	// Logf receives operational log lines (nil = silent).
+	Logf func(format string, args ...any)
+
+	// now is injectable for eviction tests; nil means time.Now.
+	now func() time.Time
+}
+
+// withDefaults fills unset fields.
+func (c RemoteConfig) withDefaults() RemoteConfig {
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 2 * time.Second
+	}
+	if c.MissedHeartbeats <= 0 {
+		c.MissedHeartbeats = 3
+	}
+	if c.LeaseWait <= 0 {
+		c.LeaseWait = 5 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// leaseState is a lease's lifecycle: pending (queued, unassigned) ->
+// leased (on a worker) -> done | failed. Eviction moves leased back to
+// pending with the attempt bumped.
+type leaseState int
+
+const (
+	leasePending leaseState = iota + 1
+	leaseLeased
+	leaseDone
+	leaseFailed
+)
+
+// lease is one trial's execution record.
+type lease struct {
+	id      string
+	trial   Trial
+	attempt int
+	state   leaseState
+	worker  string // assigned worker id while leased
+	result  *trainer.Result
+	err     error
+	done    chan struct{} // closed when the lease turns terminal
+	// lastEpoch/lastDirective dedupe the epoch stream: the agent
+	// redelivers a report whose response was lost, and the observer must
+	// see each epoch exactly once or its state machine diverges from an
+	// in-process run. Reset on requeue (a new attempt replays from
+	// epoch one).
+	lastEpoch     int
+	lastDirective EpochDirective
+	// cancelled marks a leased trial whose job gave up: the worker may
+	// still finish and commit it (the salvage semantics of the local
+	// pool), but any path that would otherwise requeue it — eviction,
+	// worker abandonment — fails it with cancelErr instead.
+	cancelled bool
+	cancelErr error
+}
+
+func (l *lease) terminal() bool { return l.state == leaseDone || l.state == leaseFailed }
+
+// workerState is a registry entry's lifecycle.
+type workerState int
+
+const (
+	workerActive workerState = iota + 1
+	workerEvicted
+)
+
+func (s workerState) String() string {
+	if s == workerEvicted {
+		return "evicted"
+	}
+	return "active"
+}
+
+// workerEntry is one registered worker.
+type workerEntry struct {
+	id       string
+	name     string
+	capacity int
+	state    workerState
+	lastBeat time.Time
+	inflight map[string]*lease
+	done     int
+}
+
+// Remote is the fleet execution backend: trials submitted by Run are
+// queued as leases; registered pipetune-worker processes pull them over
+// the work API, stream epoch observations back, and commit results
+// exactly once. A worker that stops heartbeating is evicted and its
+// leases requeued, so a job survives losing workers mid-trial.
+//
+// Remote is the daemon-side half of the protocol; the worker-side half
+// is Agent. All methods are safe for concurrent use.
+type Remote struct {
+	cfg RemoteConfig
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	workers map[string]*workerEntry
+	leases  map[string]*lease
+	pending []*lease // FIFO; eviction requeues go to the front
+	// evictedOrder remembers eviction order so the registry retains only
+	// the most recent casualties: a flapping worker re-registers under a
+	// fresh id every time, and keeping every dead entry forever would
+	// grow the registry — and every /healthz payload — without bound.
+	evictedOrder []string
+	nextWorker   int
+	nextLease    int
+	draining     bool
+	closed       bool
+	completed    int
+	requeued     int
+	stopReaper   chan struct{}
+	reaperDone   chan struct{}
+}
+
+// NewRemote builds the backend and starts its heartbeat reaper.
+func NewRemote(cfg RemoteConfig) *Remote {
+	r := &Remote{
+		cfg:        cfg.withDefaults(),
+		workers:    make(map[string]*workerEntry),
+		leases:     make(map[string]*lease),
+		stopReaper: make(chan struct{}),
+		reaperDone: make(chan struct{}),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	go r.reaper()
+	return r
+}
+
+// Name implements Backend.
+func (r *Remote) Name() string { return "remote" }
+
+// Run implements Backend: each trial becomes a lease, workers compute
+// them, and Run returns once every trial is terminal. maxParallel is
+// ignored — aggregate worker capacity bounds fleet concurrency. With no
+// workers registered, trials wait in the queue until a worker joins (or
+// the context is cancelled); fleet emptiness is a health condition, not
+// an error.
+func (r *Remote) Run(ctx context.Context, trials []Trial, _ int) ([]*trainer.Result, []error) {
+	results := make([]*trainer.Result, len(trials))
+	errs := make([]error, len(trials))
+
+	r.mu.Lock()
+	if r.closed || r.draining {
+		r.mu.Unlock()
+		for i := range errs {
+			errs[i] = ErrDraining
+		}
+		return results, errs
+	}
+	batch := make([]*lease, len(trials))
+	for i, t := range trials {
+		r.nextLease++
+		l := &lease{
+			id:      fmt.Sprintf("ls-%06d", r.nextLease),
+			trial:   t,
+			attempt: 1,
+			state:   leasePending,
+			done:    make(chan struct{}),
+		}
+		r.leases[l.id] = l
+		r.pending = append(r.pending, l)
+		batch[i] = l
+	}
+	r.cond.Broadcast()
+	r.mu.Unlock()
+
+	for _, l := range batch {
+		select {
+		case <-l.done:
+		case <-ctx.Done():
+			// The job gave up. Mirror the local pool's cancellation
+			// granularity: trials not yet on a worker fail immediately
+			// with the context's error, while trials already computing
+			// run to completion and commit — their results are returned
+			// so the caller can salvage their knowledge. A computing
+			// trial that can no longer finish (worker dies) fails
+			// instead of requeueing.
+			r.abandon(batch, ctx.Err())
+			<-l.done
+		}
+	}
+
+	r.mu.Lock()
+	for i, l := range batch {
+		results[i], errs[i] = l.result, l.err
+		delete(r.leases, l.id) // forget terminal leases; late commits are rejected as unknown
+	}
+	r.mu.Unlock()
+	return results, errs
+}
+
+// abandon handles a cancelled Run: pending leases fail now (they never
+// started computing), leased ones are marked cancelled — the worker may
+// finish and commit them, but requeue paths fail them with err.
+func (r *Remote) abandon(batch []*lease, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, l := range batch {
+		if l.terminal() {
+			continue
+		}
+		if l.state == leasePending {
+			r.removePendingLocked(l)
+			r.terminalizeLocked(l, nil, err)
+			continue
+		}
+		l.cancelled = true
+		l.cancelErr = err
+	}
+}
+
+// removePendingLocked drops a lease from the pending queue. Callers hold
+// r.mu.
+func (r *Remote) removePendingLocked(l *lease) {
+	for i, p := range r.pending {
+		if p == l {
+			r.pending = append(r.pending[:i], r.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// terminalizeLocked moves a lease to its terminal state and releases its
+// worker slot. Callers hold r.mu.
+func (r *Remote) terminalizeLocked(l *lease, res *trainer.Result, err error) {
+	if l.terminal() {
+		return
+	}
+	l.result, l.err = res, err
+	if err != nil {
+		l.state = leaseFailed
+	} else {
+		l.state = leaseDone
+		r.completed++
+	}
+	if l.worker != "" {
+		if w := r.workers[l.worker]; w != nil {
+			delete(w.inflight, l.id)
+		}
+		l.worker = ""
+	}
+	close(l.done)
+}
+
+// Register admits a worker to the fleet and assigns its id. Workers may
+// register while the backend drains — they will simply receive no
+// leases.
+func (r *Remote) Register(req RegisterRequest) (RegisterResponse, error) {
+	if req.Capacity < 1 {
+		req.Capacity = 1
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return RegisterResponse{}, ErrDraining
+	}
+	r.nextWorker++
+	w := &workerEntry{
+		id:       fmt.Sprintf("w-%06d", r.nextWorker),
+		name:     req.Name,
+		capacity: req.Capacity,
+		state:    workerActive,
+		lastBeat: r.cfg.now(),
+		inflight: make(map[string]*lease),
+	}
+	r.workers[w.id] = w
+	r.cfg.Logf("exec: worker %s (%q, capacity %d) registered", w.id, w.name, w.capacity)
+	return RegisterResponse{
+		WorkerID:         w.id,
+		HeartbeatSeconds: r.cfg.HeartbeatInterval.Seconds(),
+		LeaseWaitSeconds: r.cfg.LeaseWait.Seconds(),
+	}, nil
+}
+
+// Heartbeat records worker liveness. An unknown or evicted worker gets
+// ErrUnknownWorker and must re-register (its previous leases are already
+// requeued).
+func (r *Remote) Heartbeat(workerID string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := r.workers[workerID]
+	if w == nil || w.state != workerActive {
+		return ErrUnknownWorker
+	}
+	w.lastBeat = r.cfg.now()
+	return nil
+}
+
+// NextLease hands the worker its next trial, long-polling up to wait
+// (capped by the configured LeaseWait) when the queue is empty. A nil
+// assignment with nil error means "no work right now — poll again";
+// ErrDraining (HTTP 503) tells the worker to back off instead, so a
+// draining daemon is not hammered by instant re-polls. Any work-API
+// call refreshes the worker's heartbeat: a worker parked in a long poll
+// is evidently alive.
+func (r *Remote) NextLease(workerID string, wait time.Duration) (*Assignment, error) {
+	if wait <= 0 || wait > r.cfg.LeaseWait {
+		wait = r.cfg.LeaseWait
+	}
+	deadline := time.Now().Add(wait)
+	// sync.Cond has no timed wait; an AfterFunc broadcast bounds the
+	// poll instead.
+	wake := time.AfterFunc(wait, func() {
+		r.mu.Lock()
+		r.cond.Broadcast()
+		r.mu.Unlock()
+	})
+	defer wake.Stop()
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for {
+		w := r.workers[workerID]
+		if w == nil || w.state != workerActive {
+			return nil, ErrUnknownWorker
+		}
+		w.lastBeat = r.cfg.now()
+		if r.closed || r.draining {
+			return nil, ErrDraining // shutdown issues no new leases
+		}
+		if len(r.pending) > 0 && len(w.inflight) < w.capacity {
+			l := r.pending[0]
+			r.pending = r.pending[1:]
+			l.state = leaseLeased
+			l.worker = w.id
+			w.inflight[l.id] = l
+			asg := &Assignment{
+				LeaseID:      l.id,
+				Attempt:      l.attempt,
+				TrialID:      l.trial.ID,
+				Workload:     l.trial.Workload,
+				Hyper:        l.trial.Hyper,
+				Sys:          l.trial.Sys,
+				Seed:         l.trial.Seed,
+				StreamEpochs: l.trial.Observer != nil,
+				Trainer:      l.trial.Trainer,
+			}
+			return asg, nil
+		}
+		if !time.Now().Before(deadline) {
+			return nil, nil
+		}
+		r.cond.Wait()
+	}
+}
+
+// ReportEpoch relays one epoch-boundary observation to the trial's
+// observer (PipeTune's pipelined controller, running daemon-side) and
+// returns its directive. A revoked directive tells the worker to abandon
+// the trial.
+func (r *Remote) ReportEpoch(workerID, leaseID string, rep EpochReport) (EpochDirective, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := r.workers[workerID]
+	if w == nil || w.state != workerActive {
+		return EpochDirective{Revoked: true}, ErrUnknownWorker
+	}
+	w.lastBeat = r.cfg.now()
+	l := r.leases[leaseID]
+	if l == nil || l.state != leaseLeased || l.worker != workerID || l.attempt != rep.Attempt {
+		return EpochDirective{Revoked: true}, nil
+	}
+	if l.trial.Observer == nil {
+		return EpochDirective{}, nil
+	}
+	// The agent redelivers a report whose response was lost: answer a
+	// duplicate from the cache instead of advancing the observer twice.
+	// A report OLDER than the last delivered epoch is a network-delayed
+	// straggler whose retry was already processed — dropped entirely
+	// (empty directive, no observer call): delivering it would feed the
+	// controller an out-of-order observation.
+	if rep.Epoch.Epoch == l.lastEpoch {
+		return l.lastDirective, nil
+	}
+	if rep.Epoch.Epoch < l.lastEpoch {
+		return EpochDirective{}, nil
+	}
+	// The observer runs UNDER the backend lock, deliberately: validation
+	// and delivery must be atomic with eviction, or a stale report that
+	// passed the check could land in the controller after an eviction's
+	// Restart wiped the trial's state — corrupting the replacement
+	// attempt's fresh replay. Observers are contractually cheap (the
+	// OnTrialDone/observer hooks already run inside the scheduling loop
+	// on the local path) and never call back into the backend, so the
+	// lock ordering stays one-directional.
+	next := l.trial.Observer.OnEpochEnd(l.trial.Seed, l.trial.Workload, l.trial.Hyper, rep.Epoch.Stats())
+	l.lastEpoch = rep.Epoch.Epoch
+	l.lastDirective = EpochDirective{Sys: next}
+	return l.lastDirective, nil
+}
+
+// Complete commits a finished trial body — at most once: the lease must
+// still be assigned to this worker at this attempt. Evicted-and-requeued
+// leases, cancelled jobs and duplicate commits all land in
+// ErrLeaseRevoked, and the stale result is discarded.
+func (r *Remote) Complete(workerID, leaseID string, req CompleteRequest) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := r.workers[workerID]
+	if w == nil || w.state != workerActive {
+		return ErrUnknownWorker
+	}
+	w.lastBeat = r.cfg.now()
+	l := r.leases[leaseID]
+	if l == nil || l.state != leaseLeased || l.worker != workerID || l.attempt != req.Attempt {
+		return ErrLeaseRevoked
+	}
+	switch {
+	case req.Abandoned:
+		// The worker cannot finish (torn epoch stream): hand the trial
+		// to another worker now instead of waiting for this worker's
+		// eviction.
+		delete(w.inflight, l.id)
+		r.requeueLocked(l)
+		return nil
+	case req.Error != "":
+		r.terminalizeLocked(l, nil, fmt.Errorf("exec: worker %s: %s", workerID, req.Error))
+	default:
+		if res := req.result(); res != nil {
+			r.terminalizeLocked(l, res, nil)
+		} else {
+			r.terminalizeLocked(l, nil, fmt.Errorf("exec: worker %s committed an empty result", workerID))
+		}
+	}
+	w.done++
+	return nil
+}
+
+// requeueLocked gives a leased trial a fresh attempt at the head of the
+// queue — unless its job already gave up (fail with the job's error) or
+// the plane is draining (fail with ErrDraining; no lease will ever be
+// issued again). The trial's Restart hook runs before the lease
+// re-enters the queue, so no replacement worker can observe stale
+// observer state. Callers hold r.mu and have already detached the lease
+// from its worker's inflight set.
+func (r *Remote) requeueLocked(l *lease) {
+	l.worker = ""
+	switch {
+	case l.cancelled:
+		r.terminalizeLocked(l, nil, l.cancelErr)
+		return
+	case r.draining || r.closed:
+		r.terminalizeLocked(l, nil, ErrDraining)
+		return
+	}
+	if l.attempt >= maxLeaseAttempts {
+		// A trial that keeps losing its worker is more likely killing
+		// them (a poison body) than unlucky: requeueing it again would
+		// serially destroy the fleet. Fail the trial — and with it the
+		// job — with a diagnosis instead.
+		r.terminalizeLocked(l, nil, fmt.Errorf(
+			"exec: trial %d lost its worker %d times (poison trial or unstable fleet)",
+			l.trial.ID, l.attempt))
+		return
+	}
+	if l.trial.Restart != nil {
+		l.trial.Restart()
+	}
+	l.attempt++
+	l.state = leasePending
+	l.lastEpoch = 0 // the new attempt replays from epoch one
+	l.lastDirective = EpochDirective{}
+	r.pending = append([]*lease{l}, r.pending...)
+	r.requeued++
+	r.cond.Broadcast()
+}
+
+// maxLeaseAttempts bounds how many workers one trial may consume before
+// it is declared poison and failed.
+const maxLeaseAttempts = 5
+
+// reaper evicts workers that miss MissedHeartbeats consecutive
+// intervals, requeueing their leases at the head of the queue (attempt
+// bumped, so the evicted worker's late reports are void).
+func (r *Remote) reaper() {
+	defer close(r.reaperDone)
+	t := time.NewTicker(r.cfg.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.stopReaper:
+			return
+		case <-t.C:
+			r.evictStale()
+		}
+	}
+}
+
+// evictStale scans the registry once; split out for tests.
+func (r *Remote) evictStale() {
+	horizon := time.Duration(r.cfg.MissedHeartbeats) * r.cfg.HeartbeatInterval
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := r.cfg.now()
+	for _, w := range r.workers {
+		if w.state != workerActive || now.Sub(w.lastBeat) <= horizon {
+			continue
+		}
+		r.evictLocked(w, fmt.Sprintf("missed %d heartbeats", r.cfg.MissedHeartbeats))
+	}
+}
+
+// evictLocked removes a worker from duty and requeues its in-flight
+// leases via requeueLocked (attempt bumped — late reports from the
+// evicted worker no longer match and are rejected; cancelled or
+// draining trials fail instead of requeueing). The Restart hook is
+// restricted to observer-side cleanup (it must not call back into the
+// backend), which makes running it under r.mu safe. Callers hold r.mu.
+func (r *Remote) evictLocked(w *workerEntry, why string) {
+	w.state = workerEvicted
+	requeued := 0
+	for id, l := range w.inflight {
+		delete(w.inflight, id)
+		if l.terminal() {
+			continue
+		}
+		r.requeueLocked(l)
+		if l.state == leasePending {
+			requeued++
+		}
+	}
+	// Keep the last few evicted entries for operator debugging, not all
+	// of them forever.
+	r.evictedOrder = append(r.evictedOrder, w.id)
+	for len(r.evictedOrder) > maxEvictedRetained {
+		delete(r.workers, r.evictedOrder[0])
+		r.evictedOrder = r.evictedOrder[1:]
+	}
+	r.cfg.Logf("exec: worker %s (%q) evicted (%s), %d lease(s) requeued", w.id, w.name, why, requeued)
+}
+
+// maxEvictedRetained bounds how many evicted registry entries the fleet
+// surfaces keep showing.
+const maxEvictedRetained = 32
+
+// Drain shuts the execution plane down gracefully: lease issuance stops
+// immediately; still-pending trials fail at once (no worker will ever
+// receive them); in-flight trials get up to timeout to commit; whatever
+// remains after the deadline fails with ErrDraining. Jobs waiting on a
+// failed trial turn failed — undrained work is reported, never silently
+// lost. Idempotent.
+func (r *Remote) Drain(timeout time.Duration) {
+	r.mu.Lock()
+	if !r.draining {
+		r.draining = true
+		for _, l := range r.pending {
+			r.terminalizeLocked(l, nil, ErrDraining)
+		}
+		r.pending = nil
+		r.cond.Broadcast()
+		r.cfg.Logf("exec: draining (timeout %v): %d in-flight lease(s)", timeout, r.leasedCountLocked())
+	}
+	r.mu.Unlock()
+
+	deadline := time.Now().Add(timeout)
+	for {
+		r.mu.Lock()
+		outstanding := 0
+		for _, l := range r.leases {
+			if !l.terminal() {
+				outstanding++
+			}
+		}
+		r.mu.Unlock()
+		if outstanding == 0 || !time.Now().Before(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Whatever is still live — in-flight past the deadline, or requeued
+	// by an eviction that raced the drain — fails now.
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, l := range r.leases {
+		if !l.terminal() {
+			r.terminalizeLocked(l, nil, ErrDraining)
+		}
+	}
+}
+
+// leasedCountLocked counts leases currently on workers. Callers hold
+// r.mu.
+func (r *Remote) leasedCountLocked() int {
+	n := 0
+	for _, l := range r.leases {
+		if l.state == leaseLeased {
+			n++
+		}
+	}
+	return n
+}
+
+// Close stops the reaper and fails anything still outstanding. Call
+// after Drain (or alone, for an abrupt stop).
+func (r *Remote) Close() {
+	r.mu.Lock()
+	if !r.closed {
+		r.closed = true
+		for _, l := range r.leases {
+			if !l.terminal() {
+				r.terminalizeLocked(l, nil, ErrDraining)
+			}
+		}
+		r.pending = nil
+		r.cond.Broadcast()
+		close(r.stopReaper)
+	}
+	r.mu.Unlock()
+	<-r.reaperDone
+}
+
+// Fleet snapshots the execution plane for health surfaces, workers
+// sorted by id (evicted entries included — an operator debugging a lost
+// worker wants to see it).
+func (r *Remote) Fleet() FleetStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fs := FleetStatus{
+		Backend:         "remote",
+		Draining:        r.draining,
+		PendingTrials:   len(r.pending),
+		LeasedTrials:    r.leasedCountLocked(),
+		CompletedTrials: r.completed,
+		RequeuedTrials:  r.requeued,
+	}
+	for _, w := range r.workers {
+		fs.Workers = append(fs.Workers, WorkerStatus{
+			ID:            w.id,
+			Name:          w.name,
+			State:         w.state.String(),
+			Capacity:      w.capacity,
+			Inflight:      len(w.inflight),
+			TrialsDone:    w.done,
+			LastHeartbeat: w.lastBeat,
+		})
+	}
+	sort.Slice(fs.Workers, func(i, j int) bool { return fs.Workers[i].ID < fs.Workers[j].ID })
+	return fs
+}

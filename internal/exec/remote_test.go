@@ -1,0 +1,672 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"pipetune/internal/params"
+	"pipetune/internal/trainer"
+	"pipetune/internal/workload"
+)
+
+// testClock is an injectable clock so eviction tests need no sleeping.
+type testClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newTestClock() *testClock { return &testClock{now: time.Unix(1000, 0)} }
+
+func (c *testClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *testClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// newTestRemote builds a backend on a fake clock with fast polling.
+func newTestRemote(t *testing.T, clock *testClock) *Remote {
+	t.Helper()
+	cfg := RemoteConfig{
+		HeartbeatInterval: 50 * time.Millisecond,
+		MissedHeartbeats:  3,
+		LeaseWait:         20 * time.Millisecond,
+	}
+	if clock != nil {
+		cfg.now = clock.Now
+	}
+	r := NewRemote(cfg)
+	t.Cleanup(r.Close)
+	return r
+}
+
+// fakeResult fabricates a completed trial body.
+func fakeResult(d float64) *trainer.Result {
+	return &trainer.Result{
+		Workload: workload.Workload{Model: workload.LeNet5, Dataset: workload.MNIST},
+		Accuracy: 0.5,
+		Duration: d,
+		Epochs: []trainer.EpochStats{
+			{Epoch: 0, Init: true, Duration: d / 2, EndTime: d / 2},
+			{Epoch: 1, Duration: d / 2, EndTime: d},
+		},
+	}
+}
+
+func mkTrials(n int) []Trial {
+	out := make([]Trial, n)
+	for i := range out {
+		out[i] = Trial{
+			ID:       i,
+			Workload: workload.Workload{Model: workload.LeNet5, Dataset: workload.MNIST},
+			Hyper:    params.DefaultHyper(),
+			Sys:      params.DefaultSysConfig(),
+			Seed:     uint64(i + 1),
+		}
+	}
+	return out
+}
+
+// runAsync starts Run in the background and returns a channel with its
+// outcome.
+type runOutcome struct {
+	results []*trainer.Result
+	errs    []error
+}
+
+func runAsync(ctx context.Context, r *Remote, trials []Trial) <-chan runOutcome {
+	ch := make(chan runOutcome, 1)
+	go func() {
+		res, errs := r.Run(ctx, trials, 0)
+		ch <- runOutcome{res, errs}
+	}()
+	return ch
+}
+
+// lease pulls the next assignment, failing the test on error.
+func leaseOne(t *testing.T, r *Remote, workerID string) *Assignment {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		asg, err := r.NextLease(workerID, 20*time.Millisecond)
+		if err != nil {
+			t.Fatalf("NextLease(%s): %v", workerID, err)
+		}
+		if asg != nil {
+			return asg
+		}
+	}
+	t.Fatalf("NextLease(%s): no assignment before deadline", workerID)
+	return nil
+}
+
+func register(t *testing.T, r *Remote, name string, capacity int) RegisterResponse {
+	t.Helper()
+	reg, err := r.Register(RegisterRequest{Name: name, Capacity: capacity})
+	if err != nil {
+		t.Fatalf("register %s: %v", name, err)
+	}
+	return reg
+}
+
+func TestRemoteLeaseLifecycle(t *testing.T) {
+	r := newTestRemote(t, nil)
+	done := runAsync(context.Background(), r, mkTrials(2))
+
+	w := register(t, r, "w1", 1)
+	for i := 0; i < 2; i++ {
+		asg := leaseOne(t, r, w.WorkerID)
+		if asg.Attempt != 1 {
+			t.Fatalf("fresh lease attempt = %d, want 1", asg.Attempt)
+		}
+		if err := r.Complete(w.WorkerID, asg.LeaseID, CompleteRequest{
+			Attempt: asg.Attempt, Result: fakeResult(float64(asg.TrialID + 1)),
+		}); err != nil {
+			t.Fatalf("complete %s: %v", asg.LeaseID, err)
+		}
+	}
+	out := <-done
+	for i, err := range out.errs {
+		if err != nil {
+			t.Fatalf("trial %d: %v", i, err)
+		}
+	}
+	for i, res := range out.results {
+		if res == nil || res.Duration != float64(i+1) {
+			t.Fatalf("trial %d result = %+v, want duration %d", i, res, i+1)
+		}
+	}
+	fs := r.Fleet()
+	if fs.CompletedTrials != 2 || fs.PendingTrials != 0 || fs.LeasedTrials != 0 {
+		t.Fatalf("fleet after completion: %+v", fs)
+	}
+}
+
+// TestRemoteCapacityBound pins that a worker never holds more leases
+// than its capacity.
+func TestRemoteCapacityBound(t *testing.T) {
+	r := newTestRemote(t, nil)
+	done := runAsync(context.Background(), r, mkTrials(3))
+
+	w := register(t, r, "w1", 2)
+	a1 := leaseOne(t, r, w.WorkerID)
+	a2 := leaseOne(t, r, w.WorkerID)
+	if asg, err := r.NextLease(w.WorkerID, time.Millisecond); err != nil || asg != nil {
+		t.Fatalf("third lease on capacity-2 worker: asg=%v err=%v, want none", asg, err)
+	}
+	for _, asg := range []*Assignment{a1, a2} {
+		if err := r.Complete(w.WorkerID, asg.LeaseID, CompleteRequest{Attempt: asg.Attempt, Result: fakeResult(1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a3 := leaseOne(t, r, w.WorkerID)
+	if err := r.Complete(w.WorkerID, a3.LeaseID, CompleteRequest{Attempt: a3.Attempt, Result: fakeResult(1)}); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+}
+
+// TestRemoteEvictionRequeuesMidTrial is the worker-crash regression: a
+// worker leases a trial, goes silent mid-trial, is evicted after K
+// missed heartbeats, the lease is requeued (observer state reset), a
+// second worker completes it, and the job gets the right result. The
+// dead worker's late commit is rejected — at-most-once.
+func TestRemoteEvictionRequeuesMidTrial(t *testing.T) {
+	clock := newTestClock()
+	r := newTestRemote(t, clock)
+
+	resets := 0
+	trials := mkTrials(1)
+	trials[0].Restart = func() { resets++ }
+	done := runAsync(context.Background(), r, trials)
+
+	w1 := register(t, r, "dies", 1)
+	asg1 := leaseOne(t, r, w1.WorkerID)
+
+	// w1 goes silent: three missed 50ms heartbeats pass on the fake
+	// clock, and the next reaper scan evicts it.
+	clock.Advance(200 * time.Millisecond)
+	r.evictStale()
+	fs := r.Fleet()
+	if len(fs.Workers) != 1 || fs.Workers[0].State != "evicted" {
+		t.Fatalf("worker not evicted: %+v", fs.Workers)
+	}
+	if fs.RequeuedTrials != 1 || fs.PendingTrials != 1 {
+		t.Fatalf("lease not requeued: %+v", fs)
+	}
+	if resets != 1 {
+		t.Fatalf("observer restart hooks run %d times, want 1", resets)
+	}
+
+	// The replacement picks the lease up at the next attempt.
+	w2 := register(t, r, "survives", 1)
+	asg2 := leaseOne(t, r, w2.WorkerID)
+	if asg2.LeaseID != asg1.LeaseID || asg2.Attempt != 2 {
+		t.Fatalf("requeued lease = %s attempt %d, want %s attempt 2", asg2.LeaseID, asg2.Attempt, asg1.LeaseID)
+	}
+
+	// The dead worker wakes up and tries to commit its stale copy.
+	if err := r.Complete(w1.WorkerID, asg1.LeaseID, CompleteRequest{Attempt: asg1.Attempt, Result: fakeResult(99)}); !errors.Is(err, ErrUnknownWorker) {
+		t.Fatalf("evicted worker's commit: %v, want ErrUnknownWorker", err)
+	}
+	// Even a still-active worker with the stale attempt is rejected.
+	if err := r.Complete(w2.WorkerID, asg2.LeaseID, CompleteRequest{Attempt: 1, Result: fakeResult(99)}); !errors.Is(err, ErrLeaseRevoked) {
+		t.Fatalf("stale-attempt commit: %v, want ErrLeaseRevoked", err)
+	}
+
+	if err := r.Complete(w2.WorkerID, asg2.LeaseID, CompleteRequest{Attempt: 2, Result: fakeResult(7)}); err != nil {
+		t.Fatal(err)
+	}
+	out := <-done
+	if out.errs[0] != nil {
+		t.Fatalf("trial failed: %v", out.errs[0])
+	}
+	if out.results[0].Duration != 7 {
+		t.Fatalf("job got duration %v, want the surviving worker's 7", out.results[0].Duration)
+	}
+}
+
+// TestRemoteDuplicateCommit pins that a retried commit (torn response)
+// cannot double-apply: the first wins, the second is rejected, the
+// result is unchanged.
+func TestRemoteDuplicateCommit(t *testing.T) {
+	r := newTestRemote(t, nil)
+	done := runAsync(context.Background(), r, mkTrials(1))
+	w := register(t, r, "w1", 1)
+	asg := leaseOne(t, r, w.WorkerID)
+	if err := r.Complete(w.WorkerID, asg.LeaseID, CompleteRequest{Attempt: 1, Result: fakeResult(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Complete(w.WorkerID, asg.LeaseID, CompleteRequest{Attempt: 1, Result: fakeResult(2)}); !errors.Is(err, ErrLeaseRevoked) {
+		t.Fatalf("duplicate commit: %v, want ErrLeaseRevoked", err)
+	}
+	out := <-done
+	if out.results[0].Duration != 1 {
+		t.Fatalf("duplicate commit overwrote the result: %v", out.results[0].Duration)
+	}
+}
+
+// TestRemoteObserverStreaming pins the pipelined-tuning path: epoch
+// reports reach the trial's observer and its directives flow back.
+func TestRemoteObserverStreaming(t *testing.T) {
+	r := newTestRemote(t, nil)
+	var observed []int
+	next := params.SysConfig{Cores: 16, MemoryGB: 32}
+	trials := mkTrials(1)
+	trials[0].Observer = trainer.ObserverFunc(func(_ uint64, _ workload.Workload, _ params.Hyper, s trainer.EpochStats) *params.SysConfig {
+		observed = append(observed, s.Epoch)
+		if s.Epoch == 1 {
+			return &next
+		}
+		return nil
+	})
+	done := runAsync(context.Background(), r, trials)
+
+	w := register(t, r, "w1", 1)
+	asg := leaseOne(t, r, w.WorkerID)
+	if !asg.StreamEpochs {
+		t.Fatal("observed trial not marked StreamEpochs")
+	}
+	dir, err := r.ReportEpoch(w.WorkerID, asg.LeaseID, EpochReport{Attempt: 1, Epoch: WireEpoch(trainer.EpochStats{Epoch: 1})})
+	if err != nil || dir.Revoked {
+		t.Fatalf("epoch 1 report: dir=%+v err=%v", dir, err)
+	}
+	if dir.Sys == nil || *dir.Sys != next {
+		t.Fatalf("epoch 1 directive = %+v, want switch to %v", dir.Sys, next)
+	}
+	// A redelivered report (the agent retries when a response is lost)
+	// answers from the cache: the observer must not advance twice.
+	dup, err := r.ReportEpoch(w.WorkerID, asg.LeaseID, EpochReport{Attempt: 1, Epoch: WireEpoch(trainer.EpochStats{Epoch: 1})})
+	if err != nil || dup.Sys == nil || *dup.Sys != next {
+		t.Fatalf("duplicate epoch 1 report: dir=%+v err=%v, want cached directive", dup, err)
+	}
+	dir, err = r.ReportEpoch(w.WorkerID, asg.LeaseID, EpochReport{Attempt: 1, Epoch: WireEpoch(trainer.EpochStats{Epoch: 2})})
+	if err != nil || dir.Revoked || dir.Sys != nil {
+		t.Fatalf("epoch 2 report: dir=%+v err=%v", dir, err)
+	}
+	// A stale attempt's report is answered with a revocation, not relayed.
+	if dir, _ := r.ReportEpoch(w.WorkerID, asg.LeaseID, EpochReport{Attempt: 99, Epoch: WireEpoch(trainer.EpochStats{Epoch: 3})}); !dir.Revoked {
+		t.Fatalf("stale report not revoked: %+v", dir)
+	}
+	if err := r.Complete(w.WorkerID, asg.LeaseID, CompleteRequest{Attempt: 1, Result: fakeResult(1)}); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if len(observed) != 2 || observed[0] != 1 || observed[1] != 2 {
+		t.Fatalf("observer saw epochs %v, want [1 2]", observed)
+	}
+}
+
+// TestRemoteDrain pins the graceful-shutdown contract: pending trials
+// fail immediately, in-flight trials may commit within the deadline,
+// whatever outlives it fails with ErrDraining, and new batches are
+// refused.
+func TestRemoteDrain(t *testing.T) {
+	// The fake clock keeps the reaper quiet: no surprise eviction while
+	// the test deliberately lets a lease dangle through the drain window.
+	r := newTestRemote(t, newTestClock())
+	done := runAsync(context.Background(), r, mkTrials(3))
+
+	w := register(t, r, "w1", 2)
+	asgA := leaseOne(t, r, w.WorkerID)
+	asgB := leaseOne(t, r, w.WorkerID) // trial 2 stays pending
+
+	drained := make(chan struct{})
+	go func() {
+		r.Drain(400 * time.Millisecond)
+		close(drained)
+	}()
+
+	// In-flight work may still commit during the drain window...
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if err := r.Complete(w.WorkerID, asgA.LeaseID, CompleteRequest{Attempt: 1, Result: fakeResult(1)}); err == nil {
+			break
+		} else if !time.Now().Before(deadline) {
+			t.Fatalf("in-flight commit during drain never succeeded: %v", err)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// ...while asgB is abandoned (the worker never commits it).
+	_ = asgB
+	<-drained
+
+	out := <-done
+	if out.errs[0] != nil {
+		t.Fatalf("drained-in-time trial failed: %v", out.errs[0])
+	}
+	if !errors.Is(out.errs[1], ErrDraining) {
+		t.Fatalf("undrained in-flight trial: %v, want ErrDraining", out.errs[1])
+	}
+	if !errors.Is(out.errs[2], ErrDraining) {
+		t.Fatalf("pending trial at drain: %v, want ErrDraining", out.errs[2])
+	}
+	// No leases are issued once draining — and the worker is told to
+	// back off (503) rather than invited to re-poll instantly.
+	if asg, err := r.NextLease(w.WorkerID, time.Millisecond); !errors.Is(err, ErrDraining) || asg != nil {
+		t.Fatalf("lease while draining: asg=%v err=%v, want ErrDraining", asg, err)
+	}
+	// New batches are refused outright.
+	_, errs := r.Run(context.Background(), mkTrials(1), 0)
+	if !errors.Is(errs[0], ErrDraining) {
+		t.Fatalf("post-drain batch: %v, want ErrDraining", errs[0])
+	}
+}
+
+// TestRemoteRunCancellation pins job-cancel semantics, mirroring the
+// local pool's granularity: pending leases die instantly with the
+// context's error, while a trial already computing runs to completion
+// and its commit is salvaged — exactly the knowledge-preservation path
+// tune's OnTrialDone relies on.
+func TestRemoteRunCancellation(t *testing.T) {
+	r := newTestRemote(t, newTestClock())
+	ctx, cancel := context.WithCancel(context.Background())
+	done := runAsync(ctx, r, mkTrials(2))
+
+	w := register(t, r, "w1", 1)
+	asg := leaseOne(t, r, w.WorkerID)
+	cancel()
+	// The in-flight trial keeps streaming and may still commit.
+	if dir, err := r.ReportEpoch(w.WorkerID, asg.LeaseID, EpochReport{Attempt: 1, Epoch: WireEpoch(trainer.EpochStats{Epoch: 1})}); err != nil || dir.Revoked {
+		t.Fatalf("cancelled-but-computing lease's epoch report: dir=%+v err=%v", dir, err)
+	}
+	if err := r.Complete(w.WorkerID, asg.LeaseID, CompleteRequest{Attempt: 1, Result: fakeResult(5)}); err != nil {
+		t.Fatalf("salvage commit after cancel: %v", err)
+	}
+	out := <-done
+	if out.errs[0] != nil || out.results[0] == nil || out.results[0].Duration != 5 {
+		t.Fatalf("in-flight trial not salvaged: res=%v err=%v", out.results[0], out.errs[0])
+	}
+	if !errors.Is(out.errs[1], context.Canceled) {
+		t.Fatalf("pending trial after cancel: %v, want context.Canceled", out.errs[1])
+	}
+}
+
+// TestRemoteCancelledLeaseFailsInsteadOfRequeueing pins the other half
+// of cancellation: a cancelled in-flight trial whose worker dies (or
+// abandons) must fail with the job's error — requeueing it would burn a
+// worker on a job nobody is waiting for.
+func TestRemoteCancelledLeaseFailsInsteadOfRequeueing(t *testing.T) {
+	clock := newTestClock()
+	r := newTestRemote(t, clock)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := runAsync(ctx, r, mkTrials(1))
+
+	w := register(t, r, "w1", 1)
+	asg := leaseOne(t, r, w.WorkerID)
+	cancel()
+	// Wait for Run's abandon to mark the lease before evicting; an
+	// eviction racing ahead of the cancellation requeues first and the
+	// abandon then fails the pending lease — same outcome, but this test
+	// pins the direct fail-instead-of-requeue path.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		r.mu.Lock()
+		l := r.leases[asg.LeaseID]
+		marked := l != nil && l.cancelled
+		r.mu.Unlock()
+		if marked {
+			break
+		}
+		if !time.Now().Before(deadline) {
+			t.Fatal("cancellation never marked the lease")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	clock.Advance(time.Second)
+	r.evictStale()
+	out := <-done
+	if !errors.Is(out.errs[0], context.Canceled) {
+		t.Fatalf("cancelled lease after eviction: %v, want context.Canceled", out.errs[0])
+	}
+	if fs := r.Fleet(); fs.RequeuedTrials != 0 || fs.PendingTrials != 0 {
+		t.Fatalf("cancelled lease was requeued: %+v", fs)
+	}
+}
+
+// TestRemoteAbandonedCommitRequeues pins the worker-side give-up path:
+// a worker whose epoch stream tore commits {abandoned}, the daemon
+// requeues the lease immediately (observer state reset, attempt
+// bumped), and another worker finishes the trial — no waiting for the
+// abandoning worker's eviction.
+func TestRemoteAbandonedCommitRequeues(t *testing.T) {
+	r := newTestRemote(t, newTestClock())
+	resets := 0
+	trials := mkTrials(1)
+	trials[0].Restart = func() { resets++ }
+	done := runAsync(context.Background(), r, trials)
+
+	w1 := register(t, r, "gives-up", 1)
+	asg1 := leaseOne(t, r, w1.WorkerID)
+	if err := r.Complete(w1.WorkerID, asg1.LeaseID, CompleteRequest{Attempt: 1, Abandoned: true}); err != nil {
+		t.Fatalf("abandon commit: %v", err)
+	}
+	if resets != 1 {
+		t.Fatalf("restart hooks after abandonment: %d, want 1", resets)
+	}
+	fs := r.Fleet()
+	if fs.RequeuedTrials != 1 || fs.PendingTrials != 1 {
+		t.Fatalf("abandoned lease not requeued: %+v", fs)
+	}
+	// The abandoning worker stays active (it is healthy, just lost one
+	// trial) and could even take the lease back at the next attempt.
+	w2 := register(t, r, "finisher", 1)
+	asg2 := leaseOne(t, r, w2.WorkerID)
+	if asg2.LeaseID != asg1.LeaseID || asg2.Attempt != 2 {
+		t.Fatalf("requeued lease = %s attempt %d, want %s attempt 2", asg2.LeaseID, asg2.Attempt, asg1.LeaseID)
+	}
+	if err := r.Complete(w2.WorkerID, asg2.LeaseID, CompleteRequest{Attempt: 2, Result: fakeResult(3)}); err != nil {
+		t.Fatal(err)
+	}
+	out := <-done
+	if out.errs[0] != nil || out.results[0].Duration != 3 {
+		t.Fatalf("trial after abandonment: res=%v err=%v", out.results[0], out.errs[0])
+	}
+}
+
+// TestRemoteWorkerError pins that a worker-side trial failure fails the
+// trial (and with it the job), rather than hanging the batch.
+func TestRemoteWorkerError(t *testing.T) {
+	r := newTestRemote(t, nil)
+	done := runAsync(context.Background(), r, mkTrials(1))
+	w := register(t, r, "w1", 1)
+	asg := leaseOne(t, r, w.WorkerID)
+	if err := r.Complete(w.WorkerID, asg.LeaseID, CompleteRequest{Attempt: 1, Error: "boom"}); err != nil {
+		t.Fatal(err)
+	}
+	out := <-done
+	if out.errs[0] == nil || out.results[0] != nil {
+		t.Fatalf("worker-side failure not propagated: res=%v err=%v", out.results[0], out.errs[0])
+	}
+}
+
+// TestRemoteConcurrentLeaseCompleteHeartbeat is the -race exercise the
+// acceptance criteria ask for: many workers lease, report, complete and
+// heartbeat concurrently while batches run, workers get evicted and the
+// fleet is snapshotted.
+func TestRemoteConcurrentLeaseCompleteHeartbeat(t *testing.T) {
+	clock := newTestClock()
+	r := newTestRemote(t, clock)
+
+	const (
+		batches        = 4
+		trialsPerBatch = 8
+		workers        = 4
+	)
+	var committed atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Worker fleet: lease/report/complete loops plus heartbeats.
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reg, err := r.Register(RegisterRequest{Name: fmt.Sprintf("w%d", i), Capacity: 2})
+			if err != nil {
+				return
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				asg, err := r.NextLease(reg.WorkerID, 5*time.Millisecond)
+				if err != nil {
+					// Evicted by the churn goroutine: re-register.
+					reg, err = r.Register(RegisterRequest{Name: fmt.Sprintf("w%d", i), Capacity: 2})
+					if err != nil {
+						return
+					}
+					continue
+				}
+				_ = r.Heartbeat(reg.WorkerID)
+				if asg == nil {
+					continue
+				}
+				if _, err := r.ReportEpoch(reg.WorkerID, asg.LeaseID, EpochReport{Attempt: asg.Attempt, Epoch: WireEpoch(trainer.EpochStats{Epoch: 1})}); err != nil {
+					continue
+				}
+				if err := r.Complete(reg.WorkerID, asg.LeaseID, CompleteRequest{Attempt: asg.Attempt, Result: fakeResult(1)}); err == nil {
+					committed.Add(1)
+				}
+			}
+		}(i)
+	}
+	// Churn: advance the clock and reap, racing eviction against live
+	// lease traffic; snapshot the fleet concurrently.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				clock.Advance(120 * time.Millisecond)
+				r.evictStale()
+				_ = r.Fleet()
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+	}()
+
+	var batchWG sync.WaitGroup
+	for b := 0; b < batches; b++ {
+		batchWG.Add(1)
+		go func() {
+			defer batchWG.Done()
+			results, errs := r.Run(context.Background(), mkTrials(trialsPerBatch), 0)
+			for i := range errs {
+				if errs[i] == nil && results[i] == nil {
+					t.Error("nil result without error")
+				}
+			}
+		}()
+	}
+	batchWG.Wait()
+	close(stop)
+	wg.Wait()
+	if committed.Load() < batches*trialsPerBatch {
+		t.Fatalf("only %d commits for %d trials", committed.Load(), batches*trialsPerBatch)
+	}
+}
+
+// TestRemoteEvictedRegistryBounded pins the registry-leak guard: a
+// flapping worker mints a new id per re-registration, so only the most
+// recent evicted entries may be retained for the fleet surfaces.
+func TestRemoteEvictedRegistryBounded(t *testing.T) {
+	clock := newTestClock()
+	r := newTestRemote(t, clock)
+	for i := 0; i < maxEvictedRetained+8; i++ {
+		reg := register(t, r, fmt.Sprintf("flappy-%d", i), 1)
+		clock.Advance(time.Second)
+		r.evictStale()
+		if err := r.Heartbeat(reg.WorkerID); !errors.Is(err, ErrUnknownWorker) {
+			t.Fatalf("worker %d not evicted: %v", i, err)
+		}
+	}
+	fs := r.Fleet()
+	if len(fs.Workers) != maxEvictedRetained {
+		t.Fatalf("registry retains %d evicted entries, want %d", len(fs.Workers), maxEvictedRetained)
+	}
+}
+
+// TestRemotePoisonTrialFailsAfterAttemptCap pins the fleet-protection
+// guard: a trial that serially loses its worker (a poison body crashing
+// worker processes) is failed after maxLeaseAttempts requeues instead
+// of consuming the fleet forever.
+func TestRemotePoisonTrialFailsAfterAttemptCap(t *testing.T) {
+	clock := newTestClock()
+	r := newTestRemote(t, clock)
+	done := runAsync(context.Background(), r, mkTrials(1))
+
+	for i := 0; ; i++ {
+		if i > maxLeaseAttempts {
+			t.Fatalf("lease still being reissued after %d evictions", i)
+		}
+		w := register(t, r, fmt.Sprintf("victim-%d", i), 1)
+		asg, err := r.NextLease(w.WorkerID, time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if asg == nil {
+			break // lease no longer reissued: the cap fired
+		}
+		if asg.Attempt != i+1 {
+			t.Fatalf("eviction %d: attempt %d, want %d", i, asg.Attempt, i+1)
+		}
+		clock.Advance(time.Second)
+		r.evictStale()
+	}
+	out := <-done
+	if out.errs[0] == nil || !strings.Contains(out.errs[0].Error(), "lost its worker") {
+		t.Fatalf("poison trial error = %v, want attempt-cap diagnosis", out.errs[0])
+	}
+}
+
+// TestRemoteStaleEpochReportIgnored pins the out-of-order guard: a
+// network-delayed report for an older epoch (its retry was already
+// processed) must not reach the observer again.
+func TestRemoteStaleEpochReportIgnored(t *testing.T) {
+	r := newTestRemote(t, newTestClock())
+	var observed []int
+	trials := mkTrials(1)
+	trials[0].Observer = trainer.ObserverFunc(func(_ uint64, _ workload.Workload, _ params.Hyper, s trainer.EpochStats) *params.SysConfig {
+		observed = append(observed, s.Epoch)
+		return nil
+	})
+	done := runAsync(context.Background(), r, trials)
+	w := register(t, r, "w1", 1)
+	asg := leaseOne(t, r, w.WorkerID)
+	for _, ep := range []int{1, 2} {
+		if _, err := r.ReportEpoch(w.WorkerID, asg.LeaseID, EpochReport{Attempt: 1, Epoch: WireEpoch(trainer.EpochStats{Epoch: ep})}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The delayed straggler for epoch 1 arrives after epoch 2 was
+	// processed: dropped, empty directive, observer untouched.
+	dir, err := r.ReportEpoch(w.WorkerID, asg.LeaseID, EpochReport{Attempt: 1, Epoch: WireEpoch(trainer.EpochStats{Epoch: 1})})
+	if err != nil || dir.Revoked || dir.Sys != nil {
+		t.Fatalf("stale epoch report: dir=%+v err=%v, want empty directive", dir, err)
+	}
+	if err := r.Complete(w.WorkerID, asg.LeaseID, CompleteRequest{Attempt: 1, Result: fakeResult(1)}); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	if len(observed) != 2 || observed[0] != 1 || observed[1] != 2 {
+		t.Fatalf("observer saw %v, want [1 2]", observed)
+	}
+}

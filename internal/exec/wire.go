@@ -1,0 +1,205 @@
+package exec
+
+import (
+	"time"
+
+	"pipetune/internal/dataset"
+	"pipetune/internal/params"
+	"pipetune/internal/perf"
+	"pipetune/internal/trainer"
+	"pipetune/internal/workload"
+)
+
+// This file defines the worker wire protocol: the JSON bodies exchanged
+// between the daemon's Remote backend and pipetune-worker processes.
+// Package api re-exports these types for external consumers; they live
+// here so the protocol owner needs no import of the api layer.
+
+// TrainerConfig ships the submitting process's trainer-substrate knobs so
+// a worker reproduces trial bodies bit-identically: the corpus sizing,
+// the contention multiplier and the corpus seed are the only configurable
+// inputs of the (otherwise fully calibrated, deterministic) trainer.
+type TrainerConfig struct {
+	TrainSize int     `json:"trainSize"`
+	TestSize  int     `json:"testSize"`
+	Load      float64 `json:"load"`
+	DataSeed  uint64  `json:"dataSeed"`
+}
+
+// CaptureTrainerConfig extracts the wire-portable configuration of a
+// trainer.
+func CaptureTrainerConfig(tr *trainer.Runner) TrainerConfig {
+	return TrainerConfig{
+		TrainSize: tr.Data.TrainSize,
+		TestSize:  tr.Data.TestSize,
+		Load:      tr.Load,
+		DataSeed:  tr.DataSeed,
+	}
+}
+
+// NewRunner builds a worker-side trainer reproducing the captured
+// configuration.
+func (tc TrainerConfig) NewRunner() *trainer.Runner {
+	tr := trainer.NewRunner()
+	if tc.TrainSize > 0 && tc.TestSize > 0 {
+		tr.Data = dataset.Config{TrainSize: tc.TrainSize, TestSize: tc.TestSize}
+	}
+	if tc.Load > 0 {
+		tr.Load = tc.Load
+	}
+	if tc.DataSeed != 0 {
+		tr.DataSeed = tc.DataSeed
+	}
+	return tr
+}
+
+// RegisterRequest is the body of POST /v1/workers: a worker joining the
+// fleet.
+type RegisterRequest struct {
+	// Name is the worker's self-chosen label (hostname by default);
+	// surfaced in fleet status, not required to be unique.
+	Name string `json:"name"`
+	// Capacity is how many trial bodies the worker computes concurrently.
+	Capacity int `json:"capacity"`
+}
+
+// RegisterResponse assigns the worker its identity and cadence.
+type RegisterResponse struct {
+	// WorkerID is the fleet-unique id all further calls use.
+	WorkerID string `json:"workerId"`
+	// HeartbeatSeconds is the beat cadence the server expects; a worker
+	// silent for MissedHeartbeats of these intervals is evicted and its
+	// leases requeued.
+	HeartbeatSeconds float64 `json:"heartbeatSeconds"`
+	// LeaseWaitSeconds bounds the server-side long poll of a lease
+	// request; a worker should re-poll when a request returns no work.
+	LeaseWaitSeconds float64 `json:"leaseWaitSeconds"`
+}
+
+// Assignment is one leased trial: everything a worker needs to compute
+// the trial body, plus the lease coordinates every follow-up call must
+// echo.
+type Assignment struct {
+	// LeaseID names the lease; Attempt is its reassignment generation.
+	// Both must be echoed on epoch reports and completion — a mismatch
+	// means the lease was requeued to another worker and this worker's
+	// copy is void (at-most-once commit).
+	LeaseID string `json:"leaseId"`
+	Attempt int    `json:"attempt"`
+	// TrialID is the searcher's trial id (diagnostic only on the worker).
+	TrialID  int               `json:"trialId"`
+	Workload workload.Workload `json:"workload"`
+	Hyper    params.Hyper      `json:"hyper"`
+	Sys      params.SysConfig  `json:"sys"`
+	Seed     uint64            `json:"seed"`
+	// StreamEpochs tells the worker to report every epoch boundary and
+	// apply the returned configuration switches — the wire form of
+	// PipeTune's pipelined system tuning. False for baseline trials,
+	// whose system configuration is fixed.
+	StreamEpochs bool `json:"streamEpochs,omitempty"`
+	// Trainer reproduces the daemon's trainer substrate on the worker.
+	Trainer TrainerConfig `json:"trainer"`
+}
+
+// EpochWire is one epoch-boundary observation on the wire. The embedded
+// stats marshal with their library tags; the PMU profile — excluded from
+// the library's JSON — is carried explicitly because the daemon-side
+// observer (PipeTune's controller) clusters on it.
+type EpochWire struct {
+	trainer.EpochStats
+	Profile []float64 `json:"profile,omitempty"`
+}
+
+// WireEpoch packs epoch stats for transport.
+func WireEpoch(s trainer.EpochStats) EpochWire {
+	return EpochWire{EpochStats: s, Profile: s.Profile}
+}
+
+// Stats unpacks the observation, reattaching the profile.
+func (e EpochWire) Stats() trainer.EpochStats {
+	s := e.EpochStats
+	s.Profile = perf.Profile(e.Profile)
+	return s
+}
+
+// EpochReport is the body of POST .../leases/{lease}/epoch.
+type EpochReport struct {
+	Attempt int       `json:"attempt"`
+	Epoch   EpochWire `json:"epoch"`
+}
+
+// EpochDirective is the daemon's reply to an epoch report.
+type EpochDirective struct {
+	// Sys, when non-nil, switches the trial's system configuration from
+	// the next epoch on (the observer's decision: a ground-truth hit, the
+	// next probe, or the settled winner).
+	Sys *params.SysConfig `json:"sys,omitempty"`
+	// Revoked tells the worker its lease is void (evicted and requeued,
+	// or the job was cancelled): abandon the trial, do not report again.
+	Revoked bool `json:"revoked,omitempty"`
+}
+
+// CompleteRequest is the body of POST .../leases/{lease}/complete: the
+// at-most-once result commit.
+type CompleteRequest struct {
+	Attempt int `json:"attempt"`
+	// Result is the finished trial body; nil when Error or Abandoned is
+	// set.
+	Result *trainer.Result `json:"result,omitempty"`
+	// Profiles carries the per-epoch PMU profiles in Result.Epochs order
+	// (the library serialisation strips them), so a committed result is
+	// bit-identical to one computed in-process.
+	Profiles [][]float64 `json:"profiles,omitempty"`
+	// Error reports a worker-side trial failure: the trial itself is
+	// broken and the job should fail.
+	Error string `json:"error,omitempty"`
+	// Abandoned reports that this worker cannot finish the trial through
+	// no fault of the trial (its epoch stream tore): the daemon requeues
+	// the lease for another worker instead of waiting for this worker's
+	// eviction.
+	Abandoned bool `json:"abandoned,omitempty"`
+}
+
+// result reassembles the committed trainer result, reattaching profiles.
+func (cr CompleteRequest) result() *trainer.Result {
+	res := cr.Result
+	if res == nil {
+		return nil
+	}
+	for i := range res.Epochs {
+		if i < len(cr.Profiles) {
+			res.Epochs[i].Profile = perf.Profile(cr.Profiles[i])
+		}
+	}
+	return res
+}
+
+// WorkerStatus is one worker's row in the fleet status.
+type WorkerStatus struct {
+	ID       string `json:"id"`
+	Name     string `json:"name,omitempty"`
+	State    string `json:"state"` // "active" or "evicted"
+	Capacity int    `json:"capacity"`
+	// Inflight counts the worker's currently leased trials; TrialsDone
+	// its lifetime committed results.
+	Inflight      int       `json:"inflight"`
+	TrialsDone    int       `json:"trialsDone"`
+	LastHeartbeat time.Time `json:"lastHeartbeat"`
+}
+
+// FleetStatus is the execution plane's health surface: embedded in
+// GET /healthz and served standalone at GET /v1/fleet.
+type FleetStatus struct {
+	// Backend names the active execution backend ("local", "remote").
+	Backend string `json:"backend"`
+	// Draining is true once shutdown stopped lease issuance.
+	Draining bool `json:"draining,omitempty"`
+	// PendingTrials are queued unleased; LeasedTrials are on workers now.
+	PendingTrials int `json:"pendingTrials"`
+	LeasedTrials  int `json:"leasedTrials"`
+	// CompletedTrials counts lifetime committed results; RequeuedTrials
+	// lifetime lease reassignments caused by worker eviction.
+	CompletedTrials int            `json:"completedTrials"`
+	RequeuedTrials  int            `json:"requeuedTrials"`
+	Workers         []WorkerStatus `json:"workers,omitempty"`
+}

@@ -26,7 +26,14 @@ const DefaultShutdownTimeout = 5 * time.Second
 // (0 = DefaultShutdownTimeout) for in-flight requests to finish. It
 // returns nil on a clean shutdown, the serve error if the listener failed
 // first, or the shutdown error if draining timed out.
-func Serve(ctx context.Context, srv *http.Server, ln net.Listener, shutdownTimeout time.Duration) error {
+//
+// preShutdown hooks run after the stop signal but BEFORE the listener
+// closes, each to completion. This is the slot for application drains
+// that still need the listener: pipetuned's execution-plane drain lets
+// remote workers commit in-flight trials over the still-open work API —
+// http.Server.RegisterOnShutdown cannot provide that, because Shutdown
+// closes listeners before (and concurrently with) its hooks.
+func Serve(ctx context.Context, srv *http.Server, ln net.Listener, shutdownTimeout time.Duration, preShutdown ...func()) error {
 	if shutdownTimeout <= 0 {
 		shutdownTimeout = DefaultShutdownTimeout
 	}
@@ -43,6 +50,9 @@ func Serve(ctx context.Context, srv *http.Server, ln net.Listener, shutdownTimeo
 		}
 		return err
 	case <-ctx.Done():
+	}
+	for _, hook := range preShutdown {
+		hook()
 	}
 	shCtx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
 	defer cancel()
@@ -64,8 +74,9 @@ func Port(addr net.Addr) string {
 // ListenAndServe listens on srv.Addr (":http" when empty) and delegates
 // to Serve. onListen, when non-nil, receives the bound address before
 // serving starts — daemons use it to print the effective port when the
-// user asked for ":0".
-func ListenAndServe(ctx context.Context, srv *http.Server, shutdownTimeout time.Duration, onListen func(addr net.Addr)) error {
+// user asked for ":0". preShutdown hooks run before the listener closes
+// (see Serve).
+func ListenAndServe(ctx context.Context, srv *http.Server, shutdownTimeout time.Duration, onListen func(addr net.Addr), preShutdown ...func()) error {
 	addr := srv.Addr
 	if addr == "" {
 		addr = ":http"
@@ -77,5 +88,5 @@ func ListenAndServe(ctx context.Context, srv *http.Server, shutdownTimeout time.
 	if onListen != nil {
 		onListen(ln.Addr())
 	}
-	return Serve(ctx, srv, ln, shutdownTimeout)
+	return Serve(ctx, srv, ln, shutdownTimeout, preShutdown...)
 }

@@ -117,3 +117,56 @@ func TestListenAndServeReportsAddr(t *testing.T) {
 		t.Fatalf("shutdown returned %v", err)
 	}
 }
+
+// TestPreShutdownRunsWhileListening pins the preShutdown contract the
+// pipetuned execution-plane drain depends on: the hook runs after the
+// stop signal but with the listener still accepting — a remote worker
+// committing an in-flight trial during the drain must not see
+// connection-refused.
+func TestPreShutdownRunsWhileListening(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	mux := http.NewServeMux()
+	mux.HandleFunc("/commit", func(w http.ResponseWriter, _ *http.Request) {
+		_, _ = w.Write([]byte("committed"))
+	})
+	srv := &http.Server{Addr: "127.0.0.1:0", Handler: mux}
+	got := make(chan net.Addr, 1)
+	hookErr := make(chan error, 1)
+	errc := make(chan error, 1)
+	go func() {
+		errc <- ListenAndServe(ctx, srv, time.Second, func(addr net.Addr) { got <- addr }, func() {
+			// The drain hook: a round trip against our own server must
+			// still succeed.
+			addr := srv.Addr
+			resp, err := http.Get("http://" + addr + "/commit")
+			if err != nil {
+				hookErr <- err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				hookErr <- fmt.Errorf("hook round trip: HTTP %d", resp.StatusCode)
+				return
+			}
+			hookErr <- nil
+		})
+	}()
+	select {
+	case addr := <-got:
+		srv.Addr = addr.String()
+	case <-time.After(5 * time.Second):
+		t.Fatal("onListen never fired")
+	}
+	cancel()
+	select {
+	case err := <-hookErr:
+		if err != nil {
+			t.Fatalf("preShutdown hook could not reach the still-open listener: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("preShutdown hook never ran")
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("shutdown returned %v", err)
+	}
+}

@@ -11,7 +11,10 @@ import (
 	"pipetune/api"
 )
 
-// Handler returns the daemon's HTTP API (see package api for the surface).
+// Handler returns the daemon's HTTP API (see package api for the
+// surface). With a remote execution plane configured, the worker-facing
+// work API (registration, leases, epoch streaming, commits, fleet
+// status) is mounted next to the job API on the same listener.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -23,6 +26,12 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/groundtruth/export", s.handleGroundTruthExport)
 	mux.HandleFunc("POST /v1/groundtruth/import", s.handleGroundTruthImport)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	if s.cfg.Remote != nil {
+		wh := s.cfg.Remote.Handler()
+		mux.Handle("/v1/workers", wh)
+		mux.Handle("/v1/workers/", wh)
+		mux.Handle("GET /v1/fleet", wh)
+	}
 	return mux
 }
 

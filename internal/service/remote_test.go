@@ -1,0 +1,281 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pipetune/api"
+	"pipetune/client"
+	"pipetune/internal/exec"
+)
+
+// newRemoteServer wires a Service over the remote execution backend and
+// returns the service, its client and the Remote for fleet
+// introspection. The eviction horizon (heartbeat × missed) must
+// comfortably exceed one epoch's compute time on a loaded single-CPU
+// box under -race, or healthy workers get falsely evicted and the job
+// livelocks on requeue churn — exactly the operator guidance the
+// production defaults (2s × 3) encode. Tests that need eviction pass a
+// tighter missed count and shrink the trial instead.
+func newRemoteServer(t *testing.T, cfg Config, missedHeartbeats int) (*Service, *client.Client, *exec.Remote) {
+	t.Helper()
+	remote := exec.NewRemote(exec.RemoteConfig{
+		HeartbeatInterval: 150 * time.Millisecond,
+		MissedHeartbeats:  missedHeartbeats,
+		LeaseWait:         100 * time.Millisecond,
+		Logf:              t.Logf,
+	})
+	cfg.Remote = remote
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 2 * time.Second
+	}
+	svc, cl := newServer(t, cfg)
+	return svc, cl, remote
+}
+
+// startAgent runs an in-process worker agent against the service's
+// base URL; the returned cancel kills it (the process-crash stand-in).
+func startAgent(t *testing.T, baseURL string, capacity int) context.CancelFunc {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	agent := exec.NewAgent(exec.AgentConfig{
+		Server:   baseURL,
+		Name:     "test-agent",
+		Capacity: capacity,
+	})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = agent.Run(ctx)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		wg.Wait()
+	})
+	return cancel
+}
+
+// resultJSON canonicalises a job result for byte comparison.
+func resultJSON(t *testing.T, st api.JobStatus) string {
+	t.Helper()
+	if st.Result == nil {
+		t.Fatalf("job %s has no result (state %v, err %q)", st.ID, st.State, st.Error)
+	}
+	b, err := json.Marshal(st.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// runOne submits req and waits for the terminal status.
+func runOne(t *testing.T, cl *client.Client, req api.JobRequest) api.JobStatus {
+	t.Helper()
+	ctx := context.Background()
+	st, err := cl.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := cl.Wait(ctx, st.ID, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return final
+}
+
+// TestRemoteBackendMatchesLocal is the acceptance-criteria equality: a
+// job computed by a two-worker remote fleet returns a JobResult
+// bit-identical to the same job on the local in-process backend.
+func TestRemoteBackendMatchesLocal(t *testing.T) {
+	if testing.Short() {
+		t.Skip("remote equality runs full trial compute; CI races it in the execution-plane step")
+	}
+	_, localCl := newServer(t, Config{})
+	want := runOne(t, localCl, smallReq("lenet/mnist"))
+	if want.State != api.StateDone {
+		t.Fatalf("local job ended %v (%s)", want.State, want.Error)
+	}
+
+	// A generous eviction horizon: this test exercises equality, not
+	// failover, and must never falsely evict a busy worker.
+	_, remoteCl, remote := newRemoteServer(t, Config{}, 20)
+	srvURL := remoteCl.BaseURL
+	startAgent(t, srvURL, 2)
+	startAgent(t, srvURL, 2)
+
+	got := runOne(t, remoteCl, smallReq("lenet/mnist"))
+	if got.State != api.StateDone {
+		t.Fatalf("remote job ended %v (%s)", got.State, got.Error)
+	}
+	if resultJSON(t, got) != resultJSON(t, want) {
+		t.Fatal("remote-fleet JobResult diverges from the local backend's")
+	}
+	fs := remote.Fleet()
+	if fs.CompletedTrials == 0 {
+		t.Fatal("fleet completed no trials — the job did not actually run remotely")
+	}
+	if len(fs.Workers) < 2 {
+		t.Fatalf("fleet saw %d workers, want 2", len(fs.Workers))
+	}
+}
+
+// TestRemoteJobSurvivesWorkerDeath is the end-to-end crash regression:
+// one of two workers dies mid-job, the daemon evicts it and requeues its
+// leases, and the job still completes — with the exact result a healthy
+// run produces.
+func TestRemoteJobSurvivesWorkerDeath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("worker-death recovery runs full trial compute; CI races it in the execution-plane step")
+	}
+	// Single-epoch trials keep each attempt well inside the ~1s eviction
+	// horizon even under -race on one CPU, so only the killed worker is
+	// ever evicted — not the busy survivor.
+	req := smallReq("lenet/mnist")
+	req.Epochs = 1
+
+	_, localCl := newServer(t, Config{})
+	want := runOne(t, localCl, req)
+
+	_, remoteCl, remote := newRemoteServer(t, Config{}, 6)
+	killFirst := startAgent(t, remoteCl.BaseURL, 1)
+
+	ctx := context.Background()
+	st, err := remoteCl.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the first worker holds at least one lease, then kill it.
+	deadline := time.Now().Add(10 * time.Second)
+	for remote.Fleet().LeasedTrials == 0 {
+		if !time.Now().Before(deadline) {
+			t.Fatal("first worker never leased a trial")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	killFirst()
+	startAgent(t, remoteCl.BaseURL, 2)
+
+	final, err := remoteCl.Wait(ctx, st.ID, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != api.StateDone {
+		t.Fatalf("job after worker death ended %v (%s), want done", final.State, final.Error)
+	}
+	if resultJSON(t, final) != resultJSON(t, want) {
+		t.Fatal("post-crash JobResult diverges from a healthy run")
+	}
+	fs := remote.Fleet()
+	evicted := 0
+	for _, w := range fs.Workers {
+		if w.State == "evicted" {
+			evicted++
+		}
+	}
+	if evicted == 0 {
+		t.Fatalf("no worker recorded as evicted: %+v", fs.Workers)
+	}
+}
+
+// TestShutdownFailsUndrainedRemoteJobs pins the graceful-shutdown
+// satellite: a job whose trials can never complete (no workers) must
+// come out of Shutdown as failed-with-reason, not silently lost or
+// forever running.
+func TestShutdownFailsUndrainedRemoteJobs(t *testing.T) {
+	svc, cl, _ := newRemoteServer(t, Config{Workers: 1, DrainTimeout: 300 * time.Millisecond}, 20)
+
+	ctx := context.Background()
+	st, err := cl.Submit(ctx, smallReq("lenet/mnist"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the job reach running: its first batch is now pending leases
+	// that no worker will ever take.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		cur, err := cl.Job(ctx, st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.State == api.StateRunning {
+			break
+		}
+		if !time.Now().Before(deadline) {
+			t.Fatalf("job never started (state %v)", cur.State)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		svc.Shutdown()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Shutdown did not complete — drain deadline not honoured")
+	}
+
+	final, err := svc.Job(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != api.StateFailed {
+		t.Fatalf("undrained job ended %v, want failed", final.State)
+	}
+	if !strings.Contains(final.Error, "draining") {
+		t.Fatalf("undrained job error %q does not name the drain", final.Error)
+	}
+}
+
+// TestHealthReportsFleet pins the fleet surfaces: /healthz carries the
+// execution backend and worker rows, /v1/fleet serves the same snapshot,
+// and a local-backend daemon answers 404 on /v1/fleet.
+func TestHealthReportsFleet(t *testing.T) {
+	_, remoteCl, _ := newRemoteServer(t, Config{}, 20)
+	startAgent(t, remoteCl.BaseURL, 1)
+
+	ctx := context.Background()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		h, err := remoteCl.Health(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.ExecBackend != "remote" {
+			t.Fatalf("health execBackend = %q, want remote", h.ExecBackend)
+		}
+		if h.Fleet != nil && len(h.Fleet.Workers) == 1 {
+			break
+		}
+		if !time.Now().Before(deadline) {
+			t.Fatalf("fleet never showed the worker: %+v", h.Fleet)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	fs, err := remoteCl.Fleet(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Backend != "remote" || len(fs.Workers) != 1 {
+		t.Fatalf("fleet endpoint = %+v", fs)
+	}
+
+	_, localCl := newServer(t, Config{})
+	h, err := localCl.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ExecBackend != "local" || h.Fleet != nil {
+		t.Fatalf("local health = backend %q fleet %v", h.ExecBackend, h.Fleet)
+	}
+	if _, err := localCl.Fleet(ctx); err == nil {
+		t.Fatal("local daemon served /v1/fleet")
+	}
+}

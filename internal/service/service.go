@@ -33,6 +33,7 @@ import (
 
 	"pipetune"
 	"pipetune/api"
+	"pipetune/internal/exec"
 	"pipetune/internal/gt"
 	"pipetune/internal/trainer"
 	"pipetune/internal/tune"
@@ -86,6 +87,16 @@ type Config struct {
 	// subscriber that falls further behind is dropped with a terminal
 	// "lagged" event (default 256).
 	SubscriberBuffer int
+	// Remote, when non-nil, is the remote execution plane the daemon
+	// fronts: the service wires it into the System's tuner, mounts the
+	// worker-facing work API next to the job API, reports fleet state in
+	// /healthz, and drains leases on shutdown. Nil keeps the local
+	// in-process execution backend.
+	Remote *exec.Remote
+	// DrainTimeout bounds the shutdown wait for in-flight remote trials;
+	// leases still outstanding at the deadline fail their jobs rather
+	// than vanish (default 10s). Ignored on the local backend.
+	DrainTimeout time.Duration
 	// Logf receives operational log lines (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -180,6 +191,14 @@ func New(cfg Config) (*Service, error) {
 	}
 	if cfg.SubscriberBuffer <= 0 {
 		cfg.SubscriberBuffer = 256
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 10 * time.Second
+	}
+	if cfg.Remote != nil {
+		// Every job's trial bodies now compute on the worker fleet; the
+		// searcher, scheduler and ground-truth middleware stay in-process.
+		cfg.System.SetExecBackend(cfg.Remote)
 	}
 	s := &Service{
 		cfg:  cfg,
@@ -735,24 +754,41 @@ func (s *Service) Health() api.Health {
 			queued++
 		}
 	}
-	return api.Health{
-		Status:    "ok",
-		Queued:    queued,
-		Running:   s.running,
-		Workers:   s.cfg.Workers,
-		JobPolicy: string(s.disp.q.Policy()),
-		Tenants:   s.disp.healthLocked(),
+	h := api.Health{
+		Status:      "ok",
+		Queued:      queued,
+		Running:     s.running,
+		Workers:     s.cfg.Workers,
+		JobPolicy:   string(s.disp.q.Policy()),
+		ExecBackend: "local",
+		Tenants:     s.disp.healthLocked(),
 	}
+	if s.cfg.Remote != nil {
+		fs := s.cfg.Remote.Fleet()
+		h.ExecBackend = fs.Backend
+		h.Fleet = &fs
+	}
+	return h
 }
 
-// Shutdown stops the service: no new submissions, running jobs are
-// cancelled at their next trial boundary, workers drain, and the shared
-// ground truth takes its final snapshot. Knowledge that cancelled jobs
-// already contributed to the database survives in that snapshot.
+// Shutdown stops the service: no new submissions, the execution plane
+// drains, running jobs are cancelled at their next trial boundary,
+// workers drain, and the shared ground truth takes its final snapshot.
+// Knowledge that cancelled jobs already contributed to the database
+// survives in that snapshot.
+//
+// On the remote backend the drain is graceful and bounded: lease
+// issuance stops immediately, in-flight trials on the worker fleet get
+// up to Config.DrainTimeout to commit, and whatever is still outstanding
+// at the deadline fails its job — an operator sees "failed: execution
+// plane draining", never a silently lost job.
+//
 // Idempotent and blocking: every caller returns only once the shutdown —
 // whoever initiated it — has fully completed (sync.Once.Do blocks
-// latecomers), which lets it run both from http.Server.RegisterOnShutdown
-// and again from the daemon's main goroutine.
+// latecomers), which lets it run both as the HTTP server's pre-shutdown
+// hook (httpserve's preShutdown — BEFORE the listener closes, so remote
+// workers can still commit; http.Server.RegisterOnShutdown would run
+// too late) and again from the daemon's main goroutine.
 func (s *Service) Shutdown() {
 	s.shutdown.Do(func() {
 		s.mu.Lock()
@@ -760,9 +796,18 @@ func (s *Service) Shutdown() {
 		s.disp.cond.Broadcast() // wake idle workers so they observe closed
 		s.mu.Unlock()
 
+		if s.cfg.Remote != nil {
+			// Drain before cancelling: trials already on the fleet are
+			// paid for — give them the deadline to commit, then fail the
+			// rest. Jobs blocked on a failed trial finish immediately.
+			s.cfg.Remote.Drain(s.cfg.DrainTimeout)
+		}
 		s.stop()        // interrupt running jobs and the snapshot ticker
 		s.wg.Wait()     // workers finish their current (now cancelled) jobs
 		s.drainQueued() // jobs still queued become cancelled
+		if s.cfg.Remote != nil {
+			s.cfg.Remote.Close() // stop the reaper; late worker calls get errors
+		}
 		if s.persist != nil {
 			// Final compaction + WAL close. Knowledge cancelled jobs
 			// already contributed survives in the snapshot.

@@ -23,9 +23,11 @@
 // simulated instant. The pre-refactor barrier scheduler survives as
 // RunJobBarrier, the regression reference.
 //
-// Trial bodies execute concurrently on a bounded worker pool; all reported
-// times are simulated seconds derived from the cost model, so results are
-// deterministic regardless of goroutine interleaving.
+// Trial bodies execute through a pluggable exec.Backend — by default the
+// local in-process pool, optionally a remote worker fleet — and all
+// reported times are simulated seconds derived from the cost model, so
+// results are deterministic regardless of goroutine interleaving and of
+// which backend computed them.
 package tune
 
 import (
@@ -34,9 +36,9 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"sync"
 
 	"pipetune/internal/cluster"
+	"pipetune/internal/exec"
 	"pipetune/internal/params"
 	"pipetune/internal/sched"
 	"pipetune/internal/search"
@@ -145,6 +147,11 @@ type JobSpec struct {
 	// TrialObserver, when set, supplies a per-trial epoch observer (this
 	// is PipeTune's hook; nil for the baselines).
 	TrialObserver func(trialID int) trainer.EpochObserver
+	// TrialRestart, when set, is called when an execution backend must
+	// re-run a trial body from scratch (a remote lease requeued after
+	// worker eviction): it must discard the trial's observer-side state
+	// so the replayed epochs are observed as a fresh first attempt.
+	TrialRestart func(trialID int)
 	// OnTrialDone, when set, is called as each trial completes, in
 	// simulated completion order (PipeTune's ground-truth feeder). When a
 	// job is cancelled, trials of the interrupted batch that had already
@@ -235,12 +242,25 @@ func (r *JobResult) Clone() *JobResult {
 type Runner struct {
 	Trainer *trainer.Runner
 	Cluster *cluster.Cluster
-	// Workers bounds the real goroutine pool (not the simulated slots);
-	// 0 means one worker per simulated slot.
+	// Workers bounds the local backend's real goroutine pool (not the
+	// simulated slots); 0 means one worker per simulated slot.
 	Workers int
 	// Policy is the default trial placement policy for jobs that do not
 	// set JobSpec.Policy; nil means FIFO.
 	Policy sched.Policy
+	// Exec is the execution backend trial bodies run on; nil means the
+	// local in-process pool over Trainer (the pre-refactor behaviour,
+	// bit-identical). The pipetuned daemon swaps in exec.Remote to fan
+	// trials out to a pipetune-worker fleet.
+	Exec exec.Backend
+}
+
+// backend resolves the execution backend, defaulting to local.
+func (r *Runner) backend() exec.Backend {
+	if r.Exec != nil {
+		return r.Exec
+	}
+	return exec.NewLocal(r.Trainer)
 }
 
 // NewRunner wires a runner to a trainer and cluster.
@@ -646,74 +666,94 @@ func (r *Runner) scheduleBatch(records []TrialRecord, clock float64, slots int) 
 	return end, nil
 }
 
-// runBatch executes one searcher batch on the worker pool and returns the
-// records in suggestion order (deterministic). A cancelled context skips
-// trials that have not started yet; trials already inside the trainer run
-// to completion (a trial body is the cancellation granularity). On error
-// the records completed so far are still returned (their Result is
-// non-nil) so the caller can salvage their knowledge.
+// runBatch executes one searcher batch on the execution backend and
+// returns the records in suggestion order (deterministic). The tuning
+// layer resolves each suggestion into a concrete trial body — applied
+// hyperparameters, budget-scaled epochs, validated system footprint,
+// derived trial seed, per-trial observer — and the backend only decides
+// where that body computes. A cancelled context skips trials that have
+// not started yet; trials already inside a trainer run to completion (a
+// trial body is the cancellation granularity). On error the records
+// completed so far are still returned (their Result is non-nil) so the
+// caller can salvage their knowledge.
 func (r *Runner) runBatch(ctx context.Context, spec JobSpec, batch []search.Suggestion, workers int) ([]TrialRecord, error) {
 	records := make([]TrialRecord, len(batch))
 	errs := make([]error, len(batch))
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
+	trials := make([]exec.Trial, 0, len(batch))
+	idx := make([]int, 0, len(batch)) // trial position -> record index
+	tc := exec.CaptureTrainerConfig(r.Trainer)
 	for i, sug := range batch {
-		i, sug := i, sug
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			if err := ctx.Err(); err != nil {
-				errs[i] = fmt.Errorf("tune: job cancelled: %w", err)
-				return
+		// Cancellation outranks per-trial validation, as it did when the
+		// pre-refactor pool checked the context before each trial body: a
+		// cancelled job must classify as cancelled even when the batch
+		// also contains an unfittable suggestion.
+		if err := ctx.Err(); err != nil {
+			errs[i] = fmt.Errorf("tune: job cancelled: %w", err)
+			continue
+		}
+		h := sug.Assignment.ApplyHyper(spec.BaseHyper)
+		// HyperBand rungs scale the epoch budget.
+		if sug.BudgetFrac > 0 && sug.BudgetFrac < 1 {
+			scaled := int(float64(h.Epochs)*sug.BudgetFrac + 0.5)
+			if scaled < 1 {
+				scaled = 1
 			}
-			records[i], errs[i] = r.runTrial(spec, sug)
-		}()
+			h.Epochs = scaled
+		}
+		sys := spec.BaseSys
+		if spec.Mode == ModeV2 {
+			sys = sug.Assignment.ApplySys(spec.BaseSys)
+			if !r.Cluster.Fits(sys) {
+				errs[i] = fmt.Errorf("tune: trial config %v does not fit the cluster", sys)
+				continue
+			}
+		}
+		var obs trainer.EpochObserver
+		if spec.TrialObserver != nil {
+			obs = spec.TrialObserver(sug.ID)
+		}
+		var restart func()
+		if spec.TrialRestart != nil {
+			id := sug.ID
+			restart = func() { spec.TrialRestart(id) }
+		}
+		records[i] = TrialRecord{
+			ID:         sug.ID,
+			Assignment: sug.Assignment.Clone(),
+			Hyper:      h,
+			StartSys:   sys,
+			BudgetFrac: sug.BudgetFrac,
+		}
+		trials = append(trials, exec.Trial{
+			ID:       sug.ID,
+			Workload: spec.Workload,
+			Hyper:    h,
+			Sys:      sys,
+			Seed:     spec.Seed ^ (uint64(sug.ID)+1)*0x9e3779b97f4a7c15,
+			Observer: obs,
+			Restart:  restart,
+			Trainer:  tc,
+		})
+		idx = append(idx, i)
 	}
-	wg.Wait()
+	results, runErrs := r.backend().Run(ctx, trials, workers)
+	for k, i := range idx {
+		if err := runErrs[k]; err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				errs[i] = fmt.Errorf("tune: job cancelled: %w", err)
+			} else {
+				errs[i] = fmt.Errorf("tune: trial %d: %w", records[i].ID, err)
+			}
+			records[i] = TrialRecord{} // failed trials leave no partial record
+			continue
+		}
+		records[i].Result = results[k]
+		records[i].Score = spec.Objective.Score(results[k])
+	}
 	for _, err := range errs {
 		if err != nil {
 			return records, err
 		}
 	}
 	return records, nil
-}
-
-// runTrial executes one suggestion.
-func (r *Runner) runTrial(spec JobSpec, sug search.Suggestion) (TrialRecord, error) {
-	h := sug.Assignment.ApplyHyper(spec.BaseHyper)
-	// HyperBand rungs scale the epoch budget.
-	if sug.BudgetFrac > 0 && sug.BudgetFrac < 1 {
-		scaled := int(float64(h.Epochs)*sug.BudgetFrac + 0.5)
-		if scaled < 1 {
-			scaled = 1
-		}
-		h.Epochs = scaled
-	}
-	sys := spec.BaseSys
-	if spec.Mode == ModeV2 {
-		sys = sug.Assignment.ApplySys(spec.BaseSys)
-		if !r.Cluster.Fits(sys) {
-			return TrialRecord{}, fmt.Errorf("tune: trial config %v does not fit the cluster", sys)
-		}
-	}
-	var obs trainer.EpochObserver
-	if spec.TrialObserver != nil {
-		obs = spec.TrialObserver(sug.ID)
-	}
-	trialSeed := spec.Seed ^ (uint64(sug.ID)+1)*0x9e3779b97f4a7c15
-	result, err := r.Trainer.Run(spec.Workload, h, sys, trialSeed, obs)
-	if err != nil {
-		return TrialRecord{}, fmt.Errorf("tune: trial %d: %w", sug.ID, err)
-	}
-	return TrialRecord{
-		ID:         sug.ID,
-		Assignment: sug.Assignment.Clone(),
-		Hyper:      h,
-		StartSys:   sys,
-		BudgetFrac: sug.BudgetFrac,
-		Result:     result,
-		Score:      spec.Objective.Score(result),
-	}, nil
 }

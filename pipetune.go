@@ -35,6 +35,7 @@ import (
 	"pipetune/internal/cluster"
 	"pipetune/internal/core"
 	"pipetune/internal/dataset"
+	"pipetune/internal/exec"
 	"pipetune/internal/gt"
 	"pipetune/internal/params"
 	"pipetune/internal/sched"
@@ -271,6 +272,27 @@ func WithNearestNeighborSimilarity(threshold float64) Option {
 		s.pipetune.GT = gt.NewSharded(cfg, s.seed)
 	}
 }
+
+// ExecBackend is the pluggable execution plane trial bodies compute on:
+// the default in-process pool (exec.Local — the pre-refactor behaviour,
+// bit-identical) or a remote pipetune-worker fleet (exec.Remote).
+type ExecBackend = exec.Backend
+
+// WithExecBackend selects where trial bodies compute. A nil backend
+// keeps the default local pool.
+func WithExecBackend(b ExecBackend) Option {
+	return func(s *System) {
+		if b != nil {
+			s.tuner.Exec = b
+		}
+	}
+}
+
+// SetExecBackend swaps the execution backend after construction. The
+// service layer uses this to wire the remote worker fleet once it is
+// constructed; it must not be called concurrently with runs. A nil
+// backend restores the default local pool.
+func (s *System) SetExecBackend(b ExecBackend) { s.tuner.Exec = b }
 
 // GroundTruthStore is the pluggable ground-truth database behind
 // PipeTune's cross-job reuse (§5.4): the default sharded store, the
