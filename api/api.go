@@ -26,10 +26,15 @@
 //	POST   /v1/workers/{id}/lease                   lease a trial -> WorkerAssignment | 204
 //	POST   /v1/workers/{id}/leases/{lease}/epoch    epoch report  -> WorkerEpochDirective
 //	POST   /v1/workers/{id}/leases/{lease}/complete result commit (at most once)
+//	POST   /v1/stream                               upgrade to the framed binary stream
 //	GET    /v1/fleet                                fleet status  -> FleetStatus
 //
-// Worker routes require "Authorization: Bearer <token>" when the daemon
-// was started with -worker-token; /v1/fleet stays open like /healthz.
+// The JSON work routes and the binary stream upgrade are the same
+// protocol over two wires; -exec-wire selects which the daemon mounts
+// (FleetStatus.Wire reports the wire kind in force), and results are
+// byte-identical either way. Worker routes require "Authorization:
+// Bearer <token>" when the daemon was started with -worker-token;
+// /v1/fleet stays open like /healthz.
 //
 // Job results are the library's own tune.JobResult serialisation, so a
 // result fetched over HTTP is bit-identical to one produced by calling

@@ -10,11 +10,18 @@
 //
 //	pipetune-worker -server http://daemon:8080 [-token secret]
 //	                [-capacity 1] [-heartbeat 0] [-name host]
+//	                [-wire binary]
 //
 // Capacity is how many trial bodies compute concurrently; start more
 // processes (on more machines) to scale the fleet out — the daemon
 // requeues leases from any worker that dies, so workers are fully
 // disposable. -heartbeat 0 adopts the daemon's advertised cadence.
+//
+// -wire selects the work protocol and must match what the daemon's
+// -exec-wire mounts: binary (default) holds one framed stream over
+// which leases are granted in batches and results are delta-encoded;
+// json long-polls the HTTP/JSON compat API. Results are byte-identical
+// either way.
 //
 // The worker holds no durable state: killing it outright (SIGKILL, a
 // crashed machine) loses nothing — the daemon reassigns its leases
@@ -53,8 +60,12 @@ func run() error {
 		capacityFlag = flag.Int("capacity", 1, "trial bodies computed concurrently")
 		beatFlag     = flag.Duration("heartbeat", 0, "heartbeat cadence (0 = daemon-advertised)")
 		nameFlag     = flag.String("name", "", "worker label in fleet status (default: hostname)")
+		wireFlag     = flag.String("wire", exec.WireBinary, "work protocol: binary (framed stream) or json (long-poll compat)")
 	)
 	flag.Parse()
+	if *wireFlag != exec.WireJSON && *wireFlag != exec.WireBinary {
+		return fmt.Errorf("unknown -wire %q (want binary or json)", *wireFlag)
+	}
 
 	logger := log.New(os.Stderr, "pipetune-worker: ", log.LstdFlags)
 	agent := exec.NewAgent(exec.AgentConfig{
@@ -63,12 +74,13 @@ func run() error {
 		Name:      *nameFlag,
 		Capacity:  *capacityFlag,
 		Heartbeat: *beatFlag,
+		Wire:      *wireFlag,
 		Logf:      logger.Printf,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	logger.Printf("joining fleet at %s (capacity %d)", *serverFlag, *capacityFlag)
+	logger.Printf("joining fleet at %s (capacity %d, wire %s)", *serverFlag, *capacityFlag, *wireFlag)
 	start := time.Now()
 	err := agent.Run(ctx)
 	if errors.Is(err, context.Canceled) {

@@ -11,8 +11,9 @@
 //	          [-gt-snapshot-interval 0] [-queue 64] [-bootstrap]
 //	          [-scheduler fifo] [-job-policy fifo]
 //	          [-tenant-weight name=w ...]
-//	          [-exec-backend local] [-worker-token secret]
+//	          [-exec-backend local] [-exec-wire binary] [-worker-token secret]
 //	          [-worker-heartbeat 2s] [-worker-evict-after 3]
+//	          [-pprof-addr localhost:6060]
 //
 // Trial execution is a pluggable plane: the default -exec-backend=local
 // computes every trial body on an in-process pool, while
@@ -27,6 +28,18 @@
 //	pipetuned -exec-backend=remote -worker-token s3cret
 //	pipetune-worker -server http://localhost:8080 -token s3cret -capacity 4
 //	pipetune-worker -server http://localhost:8080 -token s3cret -capacity 4
+//
+// Workers speak one of two wire protocols, selected by -exec-wire: the
+// default binary is a persistent framed stream per worker (batched
+// lease grants, pipelined epoch frames, delta-encoded results — the
+// low-overhead production wire); json is the long-poll HTTP/JSON compat
+// wire; both mounts the two side by side during a fleet migration. Both
+// wires produce byte-identical results. The worker picks its side with
+// the matching -wire flag.
+//
+// -pprof-addr serves net/http/pprof on a separate listener (off by
+// default) for profiling the live daemon without exposing the profiling
+// surface on the public API port.
 //
 // Job dispatch across tenants is policy-driven: the default -job-policy
 // fifo reproduces the classic submission-order schedule exactly;
@@ -57,11 +70,13 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
@@ -120,9 +135,11 @@ func run() error {
 		bootstrapFlag = flag.Bool("bootstrap", false, "warm-start the ground truth by profiling the Table 3 catalog")
 		drainFlag     = flag.Duration("drain", httpserve.DefaultShutdownTimeout, "graceful-shutdown drain timeout (HTTP and in-flight remote trials)")
 		execFlag      = flag.String("exec-backend", "local", "trial execution backend: local (in-process pool) or remote (pipetune-worker fleet)")
+		wireFlag      = flag.String("exec-wire", exec.WireBinary, "work protocol for remote workers: binary (framed stream), json (long-poll compat) or both")
 		tokenFlag     = flag.String("worker-token", "", "shared bearer token pipetune-worker processes must present (empty = open)")
 		beatFlag      = flag.Duration("worker-heartbeat", 2*time.Second, "heartbeat cadence expected from workers")
 		evictFlag     = flag.Int("worker-evict-after", 3, "consecutive missed heartbeats before a worker is evicted and its leases requeued")
+		pprofFlag     = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = off)")
 		weights       = weightFlags{}
 	)
 	flag.Var(weights, "tenant-weight", "fair-share weight as name=w (repeatable; unlisted tenants weigh 1)")
@@ -138,6 +155,15 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown -gt-store %q (want sharded or monolith)", *gtStoreFlag)
 	}
+	var wire string
+	switch *wireFlag {
+	case exec.WireJSON, exec.WireBinary:
+		wire = *wireFlag
+	case "both":
+		wire = "" // an empty RemoteConfig.Wire mounts both protocols
+	default:
+		return fmt.Errorf("unknown -exec-wire %q (want binary, json or both)", *wireFlag)
+	}
 	var remote *exec.Remote
 	switch *execFlag {
 	case "local":
@@ -146,6 +172,7 @@ func run() error {
 			HeartbeatInterval: *beatFlag,
 			MissedHeartbeats:  *evictFlag,
 			Token:             *tokenFlag,
+			Wire:              wire,
 			Logf:              logger.Printf,
 		})
 	default:
@@ -184,6 +211,29 @@ func run() error {
 		logger.Printf("bootstrap: %d ground-truth entries in %v", entries, time.Since(start).Round(time.Millisecond))
 	}
 
+	// The profiling endpoints live on their own listener (and their own
+	// mux — never the job API's), so an operator can firewall them
+	// separately and profiling can't be reached through the public port.
+	if *pprofFlag != "" {
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ln, err := net.Listen("tcp", *pprofFlag)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		defer ln.Close()
+		logger.Printf("pprof on http://%s/debug/pprof/", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, pm); err != nil && !errors.Is(err, net.ErrClosed) {
+				logger.Printf("pprof server: %v", err)
+			}
+		}()
+	}
+
 	srv := &http.Server{Addr: *addrFlag, Handler: svc.Handler()}
 	// Stop the executor BEFORE the listener closes (preShutdown), not via
 	// http.Server.RegisterOnShutdown, for two reasons: remote workers
@@ -196,7 +246,7 @@ func run() error {
 		logger.Printf("serving the tuning API on %s (%d workers, job-policy=%s, exec-backend=%s, gt=%s store=%s)", addr, *workersFlag, *jobPolicyFlag, *execFlag, orNone(*gtFlag), *gtStoreFlag)
 		logger.Printf("try  curl -s -X POST localhost%s/v1/jobs -d '{\"workload\":\"lenet/mnist\"}'", httpserve.Port(addr))
 		if remote != nil {
-			logger.Printf("awaiting workers: pipetune-worker -server http://localhost%s", httpserve.Port(addr))
+			logger.Printf("awaiting workers (wire=%s): pipetune-worker -server http://localhost%s", *wireFlag, httpserve.Port(addr))
 		}
 	}, svc.Shutdown)
 	// Idempotent backstop for the listener-error path, where Serve's

@@ -30,6 +30,10 @@ type AgentConfig struct {
 	Token string
 	// Name labels the worker in fleet status (default: hostname).
 	Name string
+	// Wire selects the work protocol: WireBinary for the persistent
+	// framed stream, WireJSON (or "") for the long-poll HTTP/JSON API.
+	// The daemon must mount the matching wire (-exec-wire).
+	Wire string
 	// Capacity is how many trial bodies compute concurrently (default 1).
 	Capacity int
 	// Heartbeat overrides the beat cadence; 0 adopts the daemon's
@@ -80,6 +84,9 @@ func NewAgent(cfg AgentConfig) *Agent {
 // the daemon not up yet, restarts, evictions — is absorbed by retry and
 // re-registration.
 func (a *Agent) Run(ctx context.Context) error {
+	if a.cfg.Wire == WireBinary {
+		return a.runBinary(ctx)
+	}
 	for {
 		reg, err := a.register(ctx)
 		if err != nil {

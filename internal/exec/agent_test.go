@@ -16,7 +16,8 @@ import (
 
 // startFleet boots a Remote behind a real HTTP server plus n in-process
 // Agents speaking the real wire protocol — the full remote stack in one
-// test binary.
+// test binary. Agents speak cfg.Wire ("" = the JSON wire; the daemon
+// mounts both unless cfg.Wire restricts it).
 func startFleet(t *testing.T, n int, cfg RemoteConfig) (*Remote, context.CancelFunc) {
 	t.Helper()
 	if cfg.HeartbeatInterval == 0 {
@@ -35,6 +36,7 @@ func startFleet(t *testing.T, n int, cfg RemoteConfig) (*Remote, context.CancelF
 			Token:    cfg.Token,
 			Name:     "test-agent",
 			Capacity: 2,
+			Wire:     cfg.Wire,
 		})
 		wg.Add(1)
 		go func() {

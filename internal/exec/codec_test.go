@@ -1,0 +1,335 @@
+package exec
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"pipetune/internal/params"
+	"pipetune/internal/perf"
+	"pipetune/internal/trainer"
+	"pipetune/internal/workload"
+	"pipetune/internal/xrand"
+)
+
+// sampleAssignment builds a representative assignment for codec tests.
+func sampleAssignment() Assignment {
+	h := params.DefaultHyper()
+	h.Epochs = 3
+	return Assignment{
+		LeaseID:      "ls-000042",
+		Attempt:      2,
+		TrialID:      7,
+		Workload:     workload.Workload{Model: workload.LeNet5, Dataset: workload.MNIST},
+		Hyper:        h,
+		Sys:          params.DefaultSysConfig(),
+		Seed:         0xdeadbeefcafe,
+		StreamEpochs: true,
+		Trainer:      TrainerConfig{TrainSize: 96, TestSize: 48, Load: 1.5, DataSeed: 0x0da7a5eed},
+	}
+}
+
+// sampleResult builds a result that satisfies the trainer's accumulation
+// invariants (EndTime = running duration sum, EnergyJ = epoch sum,
+// Accuracy = last train epoch, Duration = final clock) — the contract
+// the delta codec replays. Seeded so fuzzing can vary it.
+func sampleResult(seed uint64, nEpochs int, baseSys params.SysConfig) *trainer.Result {
+	rng := xrand.New(seed)
+	res := &trainer.Result{
+		Workload: workload.Workload{Model: workload.LeNet5, Dataset: workload.MNIST},
+		Hyper:    params.DefaultHyper(),
+	}
+	sys := baseSys
+	clock := 0.0
+	for i := 0; i < nEpochs; i++ {
+		if i > 0 && rng.Float64() < 0.4 { // mid-trial system switch
+			sys = params.SysConfig{Cores: 1 + int(rng.Uint64()%64), MemoryGB: 1 + int(rng.Uint64()%256)}
+		}
+		e := trainer.EpochStats{
+			Epoch:     i,
+			Init:      i == 0,
+			Sys:       sys,
+			Duration:  rng.Float64() * 100,
+			TrainLoss: rng.Float64(),
+			Accuracy:  rng.Float64(),
+			EnergyJ:   rng.Float64() * 1e4,
+		}
+		if pl := int(rng.Uint64() % 4); pl > 0 {
+			e.Profile = make(perf.Profile, pl*16)
+			for j := range e.Profile {
+				e.Profile[j] = rng.Float64() * 1e6
+			}
+		}
+		clock += e.Duration
+		e.EndTime = clock
+		res.Epochs = append(res.Epochs, e)
+		res.EnergyJ += e.EnergyJ
+		if !e.Init {
+			res.Accuracy = e.Accuracy
+		}
+	}
+	res.Duration = clock
+	res.FinalSys = sys
+	return res
+}
+
+// encodeFrameBytes assembles a complete frame (header + payload) for a
+// payload builder — test-side capture of "real frames" for seeds.
+func encodeFrameBytes(t testing.TB, ft byte, build func(w *wirebuf)) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	fw := &frameWriter{w: &buf}
+	wb := getWirebuf()
+	build(wb)
+	if err := fw.send(ft, wb.b); err != nil {
+		t.Fatal(err)
+	}
+	putWirebuf(wb)
+	return buf.Bytes()
+}
+
+// TestFrameRoundTrip pins the framing discipline: frames written by
+// frameWriter come back intact through readFrame, in order.
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	fw := &frameWriter{w: &buf}
+	payloads := [][]byte{nil, {}, {1}, bytes.Repeat([]byte{0xAB}, 5000)}
+	for i, p := range payloads {
+		if err := fw.send(byte(i+1), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var scratch []byte
+	for i, want := range payloads {
+		ft, got, err := readFrame(&buf, &scratch)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if ft != byte(i+1) || !bytes.Equal(got, want) {
+			t.Fatalf("frame %d: type %d len %d, want type %d len %d", i, ft, len(got), i+1, len(want))
+		}
+	}
+}
+
+// TestFrameCorruptionDetected flips every byte of a frame in turn: each
+// mutation must surface as an error (or, for the type byte, an intact
+// read of a different type — the dispatcher's problem), never as
+// silently altered payload.
+func TestFrameCorruptionDetected(t *testing.T) {
+	frame := encodeFrameBytes(t, frameHello, func(w *wirebuf) { encodeHello(w, "worker-a", 4) })
+	var scratch []byte
+	for i := range frame {
+		mut := append([]byte(nil), frame...)
+		mut[i] ^= 0x01
+		ft, p, err := readFrame(bytes.NewReader(mut), &scratch)
+		if i == 0 {
+			// The type byte is outside the CRC; a flip yields a different
+			// frame type with an intact payload.
+			if err != nil || ft == frameHello {
+				t.Fatalf("type-byte flip: ft %d err %v", ft, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Fatalf("flip at byte %d decoded silently (payload %d bytes)", i, len(p))
+		}
+	}
+	// Truncation at every length must error, never hang or panic.
+	for n := 0; n < len(frame); n++ {
+		if _, _, err := readFrame(bytes.NewReader(frame[:n]), &scratch); err == nil {
+			t.Fatalf("truncation to %d bytes decoded silently", n)
+		}
+	}
+}
+
+// TestAssignmentRoundTrip pins the grant codec field by field.
+func TestAssignmentRoundTrip(t *testing.T) {
+	want := []Assignment{sampleAssignment(), {LeaseID: "ls-000001", Attempt: 1, Trainer: TrainerConfig{TrainSize: 1, TestSize: 1}}}
+	want[1].StreamEpochs = false
+	wb := getWirebuf()
+	defer putWirebuf(wb)
+	wb.uvarint(uint64(len(want)))
+	for i := range want {
+		asg := want[i]
+		tr := Trial{
+			ID:       asg.TrialID,
+			Workload: asg.Workload,
+			Hyper:    asg.Hyper,
+			Sys:      asg.Sys,
+			Seed:     asg.Seed,
+			Trainer:  asg.Trainer,
+		}
+		if asg.StreamEpochs {
+			tr.Observer = trainer.ObserverFunc(func(uint64, workload.Workload, params.Hyper, trainer.EpochStats) *params.SysConfig { return nil })
+		}
+		appendAssignment(wb, asg.LeaseID, asg.Attempt, &tr)
+	}
+	got, err := decodeGrant(wb.b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("grant round trip:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestEpochFrameRoundTrip pins the observation codec, profile included.
+func TestEpochFrameRoundTrip(t *testing.T) {
+	want := trainer.EpochStats{
+		Epoch: 3, Sys: params.SysConfig{Cores: 16, MemoryGB: 32},
+		Duration: 12.5, EndTime: 40.25, TrainLoss: 0.31, Accuracy: 0.88, EnergyJ: 512.5,
+		Profile: perf.Profile{1, 2.5, math.Pi},
+	}
+	wb := getWirebuf()
+	defer putWirebuf(wb)
+	encodeEpochFrame(wb, "ls-000007", 4, &want)
+	leaseID, attempt, got, err := decodeEpochFrame(wb.b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(leaseID) != "ls-000007" || attempt != 4 {
+		t.Fatalf("lease coords %q/%d", leaseID, attempt)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("epoch round trip:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestResultDeltaRoundTrip is the codec half of the parity guarantee: a
+// delta-encoded result decodes bit-identical — including the recomputed
+// EndTime/Duration/EnergyJ/Accuracy and the per-epoch sys chain.
+func TestResultDeltaRoundTrip(t *testing.T) {
+	base := params.DefaultSysConfig()
+	for seed := uint64(1); seed <= 16; seed++ {
+		want := sampleResult(seed, 1+int(seed%5), base)
+		wb := getWirebuf()
+		encodeComplete(wb, "ls-000009", 1, completeOK, "", want, base)
+		leaseID, attempt, status, errMsg, got, err := decodeComplete(wb.b, want.Workload, want.Hyper, base)
+		putWirebuf(wb)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if string(leaseID) != "ls-000009" || attempt != 1 || status != completeOK || errMsg != "" {
+			t.Fatalf("seed %d: header %q/%d/%d/%q", seed, leaseID, attempt, status, errMsg)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: delta round trip diverged:\n got %+v\nwant %+v", seed, got, want)
+		}
+	}
+}
+
+// TestResultDeltaRealTrial round-trips an actual trainer.Run result —
+// the invariants the codec replays must be the trainer's, not just the
+// test generator's.
+func TestResultDeltaRealTrial(t *testing.T) {
+	tr := smallTrainer()
+	asg := realTrials(tr, 1)[0]
+	want, err := tr.Run(asg.Workload, asg.Hyper, asg.Sys, asg.Seed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb := getWirebuf()
+	defer putWirebuf(wb)
+	encodeComplete(wb, "ls-000001", 1, completeOK, "", want, asg.Sys)
+	_, _, _, _, got, err := decodeComplete(wb.b, asg.Workload, asg.Hyper, asg.Sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("real trial result diverged through the delta codec")
+	}
+}
+
+// fuzzSeedFrames captures one real frame of every type — the corpus the
+// fuzzers start from.
+func fuzzSeedFrames(t testing.TB) [][]byte {
+	asg := sampleAssignment()
+	res := sampleResult(3, 3, asg.Sys)
+	st := res.Epochs[1]
+	sw := params.SysConfig{Cores: 16, MemoryGB: 32}
+	return [][]byte{
+		encodeFrameBytes(t, frameHello, func(w *wirebuf) { encodeHello(w, "worker-a", 4) }),
+		encodeFrameBytes(t, frameWelcome, func(w *wirebuf) {
+			encodeWelcome(w, RegisterResponse{WorkerID: "w-000001", HeartbeatSeconds: 2, LeaseWaitSeconds: 5})
+		}),
+		encodeFrameBytes(t, frameHeartbeat, func(*wirebuf) {}),
+		encodeFrameBytes(t, frameGrant, func(w *wirebuf) {
+			w.uvarint(1)
+			tr := Trial{ID: asg.TrialID, Workload: asg.Workload, Hyper: asg.Hyper, Sys: asg.Sys, Seed: asg.Seed, Trainer: asg.Trainer}
+			appendAssignment(w, asg.LeaseID, asg.Attempt, &tr)
+		}),
+		encodeFrameBytes(t, frameEpoch, func(w *wirebuf) { encodeEpochFrame(w, asg.LeaseID, asg.Attempt, &st) }),
+		encodeFrameBytes(t, frameDirective, func(w *wirebuf) {
+			encodeDirective(w, []byte(asg.LeaseID), asg.Attempt, 2, EpochDirective{Sys: &sw})
+		}),
+		encodeFrameBytes(t, frameComplete, func(w *wirebuf) {
+			encodeComplete(w, asg.LeaseID, asg.Attempt, completeOK, "", res, asg.Sys)
+		}),
+		encodeFrameBytes(t, frameComplete, func(w *wirebuf) {
+			encodeComplete(w, asg.LeaseID, asg.Attempt, completeError, "trial body panicked", nil, asg.Sys)
+		}),
+		encodeFrameBytes(t, frameAck, func(w *wirebuf) { encodeAck(w, []byte(asg.LeaseID), asg.Attempt, ackCommitted) }),
+	}
+}
+
+// FuzzFrameDecode drives arbitrary bytes through the frame reader and
+// every payload decoder. The invariant under fuzz: never panic, never
+// hang, and never accept a frame that fails the length/CRC/structure
+// discipline — a corrupt frame must surface as an error, because the
+// stream reacts by evicting the worker (the requeue path), and silent
+// acceptance would corrupt trial results instead.
+func FuzzFrameDecode(f *testing.F) {
+	for _, frame := range fuzzSeedFrames(f) {
+		f.Add(frame)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var scratch []byte
+		r := bytes.NewReader(data)
+		ft, p, err := readFrame(r, &scratch)
+		if err != nil {
+			return // rejected at the framing layer: exactly the contract
+		}
+		// The frame passed length+CRC; every decoder must now either
+		// decode it fully or reject it — no panics, no partial reads
+		// accepted. Decoders are exercised regardless of the type byte:
+		// a mismatched decoder must also fail safe.
+		_, _, _ = decodeHello(p)
+		_, _ = decodeWelcome(p)
+		_, _ = decodeGrant(p)
+		_, _, _, _ = decodeEpochFrame(p)
+		_, _, _, _, _ = decodeDirective(p)
+		_, _, _, _, _, _ = decodeComplete(p, workload.Workload{}, params.Hyper{}, params.SysConfig{})
+		_, _, _, _ = decodeAck(p)
+		switch ft {
+		case frameHello:
+			if name, capacity, err := decodeHello(p); err == nil && capacity < 0 {
+				t.Fatalf("hello decoded negative capacity %d (name %q)", capacity, name)
+			}
+		}
+	})
+}
+
+// FuzzResultRoundTrip generates invariant-respecting results and
+// requires the delta codec to reproduce them bit for bit — the fuzzing
+// twin of TestResultDeltaRoundTrip, exploring epoch counts, sys-switch
+// chains and profile shapes the hand-picked seeds miss.
+func FuzzResultRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint8(1), uint8(8), uint8(4))
+	f.Add(uint64(42), uint8(5), uint8(1), uint8(1))
+	f.Add(uint64(7), uint8(12), uint8(64), uint8(255))
+	f.Fuzz(func(t *testing.T, seed uint64, nEpochs, cores, mem uint8) {
+		base := params.SysConfig{Cores: 1 + int(cores%64), MemoryGB: 1 + int(mem)}
+		want := sampleResult(seed, int(nEpochs%16), base)
+		wb := getWirebuf()
+		defer putWirebuf(wb)
+		encodeComplete(wb, "ls-000123", 3, completeOK, "", want, base)
+		_, _, _, _, got, err := decodeComplete(wb.b, want.Workload, want.Hyper, base)
+		if err != nil {
+			t.Fatalf("own encoding rejected: %v", err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip diverged for seed %d epochs %d", seed, nEpochs)
+		}
+	})
+}

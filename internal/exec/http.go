@@ -17,18 +17,26 @@ import (
 //	POST /v1/workers/{id}/lease?waitMs=N         lease a trial   -> Assignment | 204
 //	POST /v1/workers/{id}/leases/{lease}/epoch   epoch report    -> EpochDirective
 //	POST /v1/workers/{id}/leases/{lease}/complete result commit
+//	POST /v1/stream                              binary stream upgrade (101)
 //	GET  /v1/fleet                               fleet status    -> FleetStatus
 //
-// When RemoteConfig.Token is set, every worker-facing route requires
+// RemoteConfig.Wire gates the mounts: "json" serves only the long-poll
+// routes, "binary" only the stream upgrade, "" both. When
+// RemoteConfig.Token is set, every worker-facing route requires
 // "Authorization: Bearer <token>"; GET /v1/fleet is operator-facing and
 // stays open, like /healthz.
 func (r *Remote) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/workers", r.authed(r.handleRegister))
-	mux.HandleFunc("POST /v1/workers/{id}/heartbeat", r.authed(r.handleHeartbeat))
-	mux.HandleFunc("POST /v1/workers/{id}/lease", r.authed(r.handleLease))
-	mux.HandleFunc("POST /v1/workers/{id}/leases/{lease}/epoch", r.authed(r.handleEpoch))
-	mux.HandleFunc("POST /v1/workers/{id}/leases/{lease}/complete", r.authed(r.handleComplete))
+	if r.cfg.Wire == "" || r.cfg.Wire == WireJSON {
+		mux.HandleFunc("POST /v1/workers", r.authed(r.handleRegister))
+		mux.HandleFunc("POST /v1/workers/{id}/heartbeat", r.authed(r.handleHeartbeat))
+		mux.HandleFunc("POST /v1/workers/{id}/lease", r.authed(r.handleLease))
+		mux.HandleFunc("POST /v1/workers/{id}/leases/{lease}/epoch", r.authed(r.handleEpoch))
+		mux.HandleFunc("POST /v1/workers/{id}/leases/{lease}/complete", r.authed(r.handleComplete))
+	}
+	if r.cfg.Wire == "" || r.cfg.Wire == WireBinary {
+		mux.HandleFunc("POST /v1/stream", r.authed(r.handleStream))
+	}
 	mux.HandleFunc("GET /v1/fleet", r.handleFleet)
 	return mux
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -41,6 +42,13 @@ type RemoteConfig struct {
 	// Token, when non-empty, is the bearer token every worker-facing
 	// HTTP call must present (Authorization: Bearer <token>).
 	Token string
+	// Wire selects which work protocols the Handler mounts: WireJSON
+	// (the long-poll HTTP/JSON API), WireBinary (the persistent framed
+	// stream), or "" for both — mixed fleets and migrations talk to one
+	// daemon. The wire does not change semantics: results, eviction,
+	// requeue and drain behave identically (the parity suite proves it
+	// byte for byte).
+	Wire string
 	// Logf receives operational log lines (nil = silent).
 	Logf func(format string, args ...any)
 
@@ -131,6 +139,11 @@ type workerEntry struct {
 	lastBeat time.Time
 	inflight map[string]*lease
 	done     int
+	// closeStream, when set, severs the worker's binary stream connection.
+	// Eviction calls it so a worker evicted by the reaper (alive but
+	// partitioned) does not keep a half-dead stream open; the stream's
+	// reader unblocks and the session ends. Nil for JSON-wire workers.
+	closeStream func()
 }
 
 // Remote is the fleet execution backend: trials submitted by Run are
@@ -200,10 +213,12 @@ func (r *Remote) Run(ctx context.Context, trials []Trial, _ int) ([]*trainer.Res
 		return results, errs
 	}
 	batch := make([]*lease, len(trials))
+	slab := make([]lease, len(trials)) // one allocation per batch, not one per trial
 	for i, t := range trials {
 		r.nextLease++
-		l := &lease{
-			id:      fmt.Sprintf("ls-%06d", r.nextLease),
+		l := &slab[i]
+		*l = lease{
+			id:      leaseName(r.nextLease),
 			trial:   t,
 			attempt: 1,
 			state:   leasePending,
@@ -272,8 +287,35 @@ func (r *Remote) removePendingLocked(l *lease) {
 	}
 }
 
+// leaseName formats the old "ls-%06d" id without fmt's
+// reflection-driven allocations (three per Sprintf on this path — the
+// hottest daemon-side allocation the pprof pass surfaced outside the
+// JSON codec itself).
+func leaseName(n int) string { return paddedID('l', 's', n) }
+
+// workerName formats "w-%06d" ids the same way.
+func workerName(n int) string { return paddedID('w', 0, n) }
+
+func paddedID(a, b byte, n int) string {
+	buf := make([]byte, 0, 16)
+	buf = append(buf, a)
+	if b != 0 {
+		buf = append(buf, b)
+	}
+	buf = append(buf, '-')
+	head := len(buf)
+	buf = strconv.AppendInt(buf, int64(n), 10)
+	if d := len(buf) - head; d < 6 {
+		buf = append(buf, "000000"[:6-d]...)
+		copy(buf[head+6-d:], buf[head:head+d])
+		copy(buf[head:], "000000"[:6-d])
+	}
+	return string(buf)
+}
+
 // terminalizeLocked moves a lease to its terminal state and releases its
-// worker slot. Callers hold r.mu.
+// worker slot. Callers hold r.mu. The broadcast wakes stream granters
+// (and parked long polls) whose worker just gained a free slot.
 func (r *Remote) terminalizeLocked(l *lease, res *trainer.Result, err error) {
 	if l.terminal() {
 		return
@@ -292,6 +334,7 @@ func (r *Remote) terminalizeLocked(l *lease, res *trainer.Result, err error) {
 		l.worker = ""
 	}
 	close(l.done)
+	r.cond.Broadcast()
 }
 
 // Register admits a worker to the fleet and assigns its id. Workers may
@@ -308,7 +351,7 @@ func (r *Remote) Register(req RegisterRequest) (RegisterResponse, error) {
 	}
 	r.nextWorker++
 	w := &workerEntry{
-		id:       fmt.Sprintf("w-%06d", r.nextWorker),
+		id:       workerName(r.nextWorker),
 		name:     req.Name,
 		capacity: req.Capacity,
 		state:    workerActive,
@@ -403,13 +446,28 @@ func (r *Remote) NextLease(workerID string, wait time.Duration) (*Assignment, er
 func (r *Remote) ReportEpoch(workerID, leaseID string, rep EpochReport) (EpochDirective, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.epochLocked(workerID, r.leases[leaseID], rep.Attempt, rep.Epoch.Stats())
+}
+
+// streamReportEpoch is ReportEpoch for the binary wire: the lease id
+// arrives as a view into the frame buffer, and indexing the map through
+// string(leaseID) lets the compiler skip the string allocation.
+func (r *Remote) streamReportEpoch(workerID string, leaseID []byte, attempt int, s trainer.EpochStats) (EpochDirective, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.epochLocked(workerID, r.leases[string(leaseID)], attempt, s)
+}
+
+// epochLocked validates and delivers one epoch observation; both wires
+// funnel through it so dedupe, staleness and observer semantics cannot
+// diverge. Callers hold r.mu.
+func (r *Remote) epochLocked(workerID string, l *lease, attempt int, s trainer.EpochStats) (EpochDirective, error) {
 	w := r.workers[workerID]
 	if w == nil || w.state != workerActive {
 		return EpochDirective{Revoked: true}, ErrUnknownWorker
 	}
 	w.lastBeat = r.cfg.now()
-	l := r.leases[leaseID]
-	if l == nil || l.state != leaseLeased || l.worker != workerID || l.attempt != rep.Attempt {
+	if l == nil || l.state != leaseLeased || l.worker != workerID || l.attempt != attempt {
 		return EpochDirective{Revoked: true}, nil
 	}
 	if l.trial.Observer == nil {
@@ -421,10 +479,10 @@ func (r *Remote) ReportEpoch(workerID, leaseID string, rep EpochReport) (EpochDi
 	// straggler whose retry was already processed — dropped entirely
 	// (empty directive, no observer call): delivering it would feed the
 	// controller an out-of-order observation.
-	if rep.Epoch.Epoch == l.lastEpoch {
+	if s.Epoch == l.lastEpoch {
 		return l.lastDirective, nil
 	}
-	if rep.Epoch.Epoch < l.lastEpoch {
+	if s.Epoch < l.lastEpoch {
 		return EpochDirective{}, nil
 	}
 	// The observer runs UNDER the backend lock, deliberately: validation
@@ -435,8 +493,8 @@ func (r *Remote) ReportEpoch(workerID, leaseID string, rep EpochReport) (EpochDi
 	// OnTrialDone/observer hooks already run inside the scheduling loop
 	// on the local path) and never call back into the backend, so the
 	// lock ordering stays one-directional.
-	next := l.trial.Observer.OnEpochEnd(l.trial.Seed, l.trial.Workload, l.trial.Hyper, rep.Epoch.Stats())
-	l.lastEpoch = rep.Epoch.Epoch
+	next := l.trial.Observer.OnEpochEnd(l.trial.Seed, l.trial.Workload, l.trial.Hyper, s)
+	l.lastEpoch = s.Epoch
 	l.lastDirective = EpochDirective{Sys: next}
 	return l.lastDirective, nil
 }
@@ -448,27 +506,40 @@ func (r *Remote) ReportEpoch(workerID, leaseID string, rep EpochReport) (EpochDi
 func (r *Remote) Complete(workerID, leaseID string, req CompleteRequest) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	return r.commitLocked(workerID, r.leases[leaseID], req.Attempt, req.result(), req.Error, req.Abandoned)
+}
+
+// streamComplete is Complete for the binary wire (alloc-free lease
+// lookup, result already reconstructed by the codec).
+func (r *Remote) streamComplete(workerID string, leaseID []byte, attempt int, res *trainer.Result, errMsg string, abandoned bool) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.commitLocked(workerID, r.leases[string(leaseID)], attempt, res, errMsg, abandoned)
+}
+
+// commitLocked is the at-most-once commit shared by both wires. Callers
+// hold r.mu.
+func (r *Remote) commitLocked(workerID string, l *lease, attempt int, res *trainer.Result, errMsg string, abandoned bool) error {
 	w := r.workers[workerID]
 	if w == nil || w.state != workerActive {
 		return ErrUnknownWorker
 	}
 	w.lastBeat = r.cfg.now()
-	l := r.leases[leaseID]
-	if l == nil || l.state != leaseLeased || l.worker != workerID || l.attempt != req.Attempt {
+	if l == nil || l.state != leaseLeased || l.worker != workerID || l.attempt != attempt {
 		return ErrLeaseRevoked
 	}
 	switch {
-	case req.Abandoned:
+	case abandoned:
 		// The worker cannot finish (torn epoch stream): hand the trial
 		// to another worker now instead of waiting for this worker's
 		// eviction.
 		delete(w.inflight, l.id)
 		r.requeueLocked(l)
 		return nil
-	case req.Error != "":
-		r.terminalizeLocked(l, nil, fmt.Errorf("exec: worker %s: %s", workerID, req.Error))
+	case errMsg != "":
+		r.terminalizeLocked(l, nil, fmt.Errorf("exec: worker %s: %s", workerID, errMsg))
 	default:
-		if res := req.result(); res != nil {
+		if res != nil {
 			r.terminalizeLocked(l, res, nil)
 		} else {
 			r.terminalizeLocked(l, nil, fmt.Errorf("exec: worker %s committed an empty result", workerID))
@@ -560,6 +631,12 @@ func (r *Remote) evictStale() {
 // backend), which makes running it under r.mu safe. Callers hold r.mu.
 func (r *Remote) evictLocked(w *workerEntry, why string) {
 	w.state = workerEvicted
+	if w.closeStream != nil {
+		// Sever the binary stream: the session's reader unblocks and the
+		// worker re-registers, exactly like a JSON worker's 404.
+		w.closeStream()
+		w.closeStream = nil
+	}
 	requeued := 0
 	for id, l := range w.inflight {
 		delete(w.inflight, id)
@@ -578,6 +655,9 @@ func (r *Remote) evictLocked(w *workerEntry, why string) {
 		delete(r.workers, r.evictedOrder[0])
 		r.evictedOrder = r.evictedOrder[1:]
 	}
+	// Wake the worker's granter (and anything waiting on its slots) so it
+	// observes the eviction even when no lease was requeued.
+	r.cond.Broadcast()
 	r.cfg.Logf("exec: worker %s (%q) evicted (%s), %d lease(s) requeued", w.id, w.name, why, requeued)
 }
 
@@ -655,11 +735,29 @@ func (r *Remote) Close() {
 			}
 		}
 		r.pending = nil
+		// Sever every binary stream so blocked session readers unwind;
+		// their workers' reconnect attempts are refused while closed.
+		for _, w := range r.workers {
+			if w.closeStream != nil {
+				w.closeStream()
+				w.closeStream = nil
+			}
+		}
 		r.cond.Broadcast()
 		close(r.stopReaper)
 	}
 	r.mu.Unlock()
 	<-r.reaperDone
+}
+
+// wireLabel names the mounted work protocol(s) for fleet status.
+func (r *Remote) wireLabel() string {
+	switch r.cfg.Wire {
+	case WireJSON, WireBinary:
+		return r.cfg.Wire
+	default:
+		return WireJSON + "+" + WireBinary
+	}
 }
 
 // Fleet snapshots the execution plane for health surfaces, workers
@@ -670,6 +768,7 @@ func (r *Remote) Fleet() FleetStatus {
 	defer r.mu.Unlock()
 	fs := FleetStatus{
 		Backend:         "remote",
+		Wire:            r.wireLabel(),
 		Draining:        r.draining,
 		PendingTrials:   len(r.pending),
 		LeasedTrials:    r.leasedCountLocked(),

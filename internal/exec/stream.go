@@ -1,0 +1,317 @@
+package exec
+
+// Daemon-side half of the binary work protocol. One POST /v1/stream per
+// worker is upgraded (HTTP 101 + connection hijack) into a persistent
+// framed stream that replaces every long-poll round trip of the JSON
+// wire:
+//
+//   - the *granter* goroutine pushes lease batches the moment the worker
+//     has free slots and the queue has work — no poll latency, and one
+//     Grant frame carries up to (capacity − inflight) assignments;
+//   - the session *reader* dispatches the worker's frames: Heartbeat
+//     refreshes liveness, Epoch observations go to the trial's observer
+//     (whose Directive is written straight back, keeping pipelined
+//     mid-trial tuning at stream latency), Complete commits results
+//     at-most-once and is answered with an Ack.
+//
+// Backpressure is implicit in the lease accounting: the daemon never has
+// more than `capacity` assignments outstanding per worker, so the worker
+// needs no receive-window machinery — a Grant frame always fits the
+// slots it already advertised.
+//
+// Failure semantics are identical to the JSON wire, only faster: a dead
+// connection, a torn frame, or a CRC mismatch all end the session and
+// evict the worker through the same requeue path a missed-heartbeat
+// eviction takes; and when the reaper evicts a stream worker (alive but
+// partitioned), eviction severs the connection so the session cannot
+// linger half-dead.
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"time"
+
+	"pipetune/internal/params"
+	"pipetune/internal/workload"
+)
+
+// streamHandshakeTimeout bounds how long an upgraded connection may take
+// to present the magic and Hello frame before the daemon drops it.
+const streamHandshakeTimeout = 10 * time.Second
+
+// handleStream upgrades POST /v1/stream into a framed binary stream.
+// Token auth ran in the authed wrapper, over plain HTTP, before the
+// upgrade — a worker with a bad token gets an ordinary 401.
+func (r *Remote) handleStream(w http.ResponseWriter, req *http.Request) {
+	if req.Header.Get("Upgrade") != streamUpgradeProto {
+		writeWireJSON(w, http.StatusBadRequest, wireError{Error: "exec: stream requires Upgrade: " + streamUpgradeProto})
+		return
+	}
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		writeWireJSON(w, http.StatusInternalServerError, wireError{Error: "exec: connection cannot be hijacked"})
+		return
+	}
+	conn, rw, err := hj.Hijack()
+	if err != nil {
+		writeWireJSON(w, http.StatusInternalServerError, wireError{Error: fmt.Sprintf("exec: hijack: %v", err)})
+		return
+	}
+	// The server's read/write deadlines (if any) outlive the hijack;
+	// clear them — the stream manages its own handshake deadline, and
+	// liveness afterwards is the heartbeat/eviction protocol's job.
+	_ = conn.SetDeadline(time.Time{})
+	fmt.Fprintf(rw.Writer, "HTTP/1.1 101 Switching Protocols\r\nUpgrade: %s\r\nConnection: Upgrade\r\n\r\n", streamUpgradeProto)
+	if err := rw.Writer.Flush(); err != nil {
+		conn.Close()
+		return
+	}
+	r.serveStream(conn, rw.Reader)
+}
+
+// serveStream owns one worker's stream session from handshake to
+// eviction.
+func (r *Remote) serveStream(conn net.Conn, br *bufio.Reader) {
+	defer conn.Close()
+
+	// Handshake: magic, then a Hello frame, under a deadline so a stuck
+	// peer cannot park an anonymous connection forever.
+	_ = conn.SetReadDeadline(time.Now().Add(streamHandshakeTimeout))
+	var magic [len(streamMagic)]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil || string(magic[:]) != streamMagic {
+		return
+	}
+	var scratch []byte
+	ft, p, err := readFrame(br, &scratch)
+	if err != nil || ft != frameHello {
+		return
+	}
+	name, capacity, err := decodeHello(p)
+	if err != nil {
+		return
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+
+	resp, err := r.Register(RegisterRequest{Name: name, Capacity: capacity})
+	if err != nil {
+		return // closed: the dropped conn tells the worker to back off
+	}
+	workerID := resp.WorkerID
+	if !r.bindStream(workerID, func() { conn.Close() }) {
+		return
+	}
+	fw := &frameWriter{w: conn}
+	wb := getWirebuf()
+	encodeWelcome(wb, resp)
+	err = fw.send(frameWelcome, wb.b)
+	putWirebuf(wb)
+	if err != nil {
+		r.evictWorker(workerID, "welcome write failed")
+		return
+	}
+
+	go r.grantLoop(fw, workerID)
+
+	why := "stream closed"
+	for {
+		ft, p, err := readFrame(br, &scratch)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				why = fmt.Sprintf("stream read: %v", err)
+			}
+			break
+		}
+		if err := r.dispatchFrame(fw, workerID, ft, p); err != nil {
+			why = err.Error()
+			break
+		}
+	}
+	// However the session ended — clean close, transport death, corrupt
+	// frame — the worker is gone as far as this registration is
+	// concerned: evict it so its leases requeue NOW (the stream is a
+	// faster liveness signal than waiting out missed heartbeats).
+	r.evictWorker(workerID, why)
+}
+
+// dispatchFrame handles one worker frame; a returned error ends the
+// session (and names the eviction reason).
+func (r *Remote) dispatchFrame(fw *frameWriter, workerID string, ft byte, p []byte) error {
+	switch ft {
+	case frameHeartbeat:
+		if err := r.Heartbeat(workerID); err != nil {
+			return fmt.Errorf("heartbeat rejected: %v", err)
+		}
+		return nil
+
+	case frameEpoch:
+		leaseID, attempt, stats, err := decodeEpochFrame(p)
+		if err != nil {
+			return fmt.Errorf("corrupt epoch frame: %v", err)
+		}
+		dir, err := r.streamReportEpoch(workerID, leaseID, attempt, stats)
+		if err != nil {
+			return fmt.Errorf("epoch report rejected: %v", err)
+		}
+		wb := getWirebuf()
+		encodeDirective(wb, leaseID, attempt, stats.Epoch, dir)
+		err = fw.send(frameDirective, wb.b)
+		putWirebuf(wb)
+		if err != nil {
+			return fmt.Errorf("directive write: %v", err)
+		}
+		return nil
+
+	case frameComplete:
+		// Two-phase decode: peek the lease id, fetch the trial the lease
+		// was cut from (the delta baseline), then reconstruct the result.
+		leaseID, err := completeHeader(p)
+		if err != nil {
+			return fmt.Errorf("corrupt complete frame: %v", err)
+		}
+		wl, hy, baseSys, known := r.leaseInfo(leaseID)
+		_, attempt, status, errMsg, res, err := decodeComplete(p, wl, hy, baseSys)
+		if err != nil {
+			return fmt.Errorf("corrupt complete frame: %v", err)
+		}
+		code := ackCommitted
+		if !known {
+			// The lease is already terminal and forgotten — a duplicate
+			// or post-cancellation commit. Same outcome as the JSON 409.
+			code = ackSuperseded
+		} else {
+			switch err := r.streamComplete(workerID, leaseID, attempt, res, errMsg, status == completeAbandoned); {
+			case errors.Is(err, ErrLeaseRevoked):
+				code = ackSuperseded
+			case errors.Is(err, ErrUnknownWorker):
+				code = ackUnknown
+			case err != nil:
+				code = ackSuperseded
+			}
+		}
+		wb := getWirebuf()
+		encodeAck(wb, leaseID, attempt, code)
+		err = fw.send(frameAck, wb.b)
+		putWirebuf(wb)
+		if err != nil {
+			return fmt.Errorf("ack write: %v", err)
+		}
+		if code == ackUnknown {
+			return errors.New("worker no longer registered")
+		}
+		return nil
+
+	default:
+		return fmt.Errorf("unexpected frame type %d", ft)
+	}
+}
+
+// grantLoop pushes lease batches to one worker for as long as it stays
+// registered. It parks on the backend's condition variable and wakes on
+// every queue or slot change; each iteration claims everything the
+// worker has slots for and ships it as a single Grant frame (encoded
+// under the lock — trial fields are immutable while leased — written
+// outside it).
+func (r *Remote) grantLoop(fw *frameWriter, workerID string) {
+	var claim []*lease // reused claim scratch: zero steady-state allocs
+	drainSent := false
+	r.mu.Lock()
+	for {
+		w := r.workers[workerID]
+		if w == nil || w.state != workerActive || r.closed {
+			r.mu.Unlock()
+			return
+		}
+		if r.draining {
+			// One Drain frame tells the worker no further grants are
+			// coming; the session stays up so in-flight trials commit.
+			if drainSent {
+				r.cond.Wait()
+				continue
+			}
+			drainSent = true
+			r.mu.Unlock()
+			if fw.send(frameDrain, nil) != nil {
+				r.evictWorker(workerID, "drain write failed")
+				return
+			}
+			r.mu.Lock()
+			continue
+		}
+		n := w.capacity - len(w.inflight)
+		if len(r.pending) == 0 || n <= 0 {
+			r.cond.Wait()
+			continue
+		}
+		if n > len(r.pending) {
+			n = len(r.pending)
+		}
+		claim = claim[:0]
+		for _, l := range r.pending[:n] {
+			l.state = leaseLeased
+			l.worker = w.id
+			w.inflight[l.id] = l
+			claim = append(claim, l)
+		}
+		r.pending = r.pending[n:]
+		wb := getWirebuf()
+		wb.uvarint(uint64(len(claim)))
+		for _, l := range claim {
+			appendAssignment(wb, l.id, l.attempt, &l.trial)
+		}
+		r.mu.Unlock()
+		err := fw.send(frameGrant, wb.b)
+		putWirebuf(wb)
+		if err != nil {
+			// The worker never saw these assignments; eviction requeues
+			// them for the rest of the fleet.
+			r.evictWorker(workerID, "grant write failed")
+			return
+		}
+		r.mu.Lock()
+	}
+}
+
+// bindStream attaches a stream severance hook to a registered worker so
+// eviction and Close can cut the connection. False when the worker is
+// already gone (evicted between Register and bind, or the plane closed).
+func (r *Remote) bindStream(workerID string, closeFn func()) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := r.workers[workerID]
+	if w == nil || w.state != workerActive || r.closed {
+		return false
+	}
+	w.closeStream = closeFn
+	return true
+}
+
+// evictWorker evicts by id — the stream session's exit path. Idempotent:
+// a worker already evicted (reaper, Close, a racing session error) is
+// left as is.
+func (r *Remote) evictWorker(workerID, why string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := r.workers[workerID]
+	if w == nil || w.state != workerActive {
+		return
+	}
+	r.evictLocked(w, why)
+}
+
+// leaseInfo fetches the immutable trial identity a delta-encoded result
+// is reconstructed against. ok is false for unknown (already forgotten)
+// leases — the commit will be acked as superseded, but the frame must
+// still decode cleanly to keep the stream consistent.
+func (r *Remote) leaseInfo(leaseID []byte) (wl workload.Workload, hy params.Hyper, baseSys params.SysConfig, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	l := r.leases[string(leaseID)]
+	if l == nil {
+		return wl, hy, baseSys, false
+	}
+	return l.trial.Workload, l.trial.Hyper, l.trial.Sys, true
+}

@@ -192,6 +192,9 @@ type WorkerStatus struct {
 type FleetStatus struct {
 	// Backend names the active execution backend ("local", "remote").
 	Backend string `json:"backend"`
+	// Wire names the mounted work protocol(s): "json", "binary", or
+	// "json+binary" when the daemon accepts both.
+	Wire string `json:"wire,omitempty"`
 	// Draining is true once shutdown stopped lease issuance.
 	Draining bool `json:"draining,omitempty"`
 	// PendingTrials are queued unleased; LeasedTrials are on workers now.

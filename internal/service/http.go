@@ -30,6 +30,7 @@ func (s *Service) Handler() http.Handler {
 		wh := s.cfg.Remote.Handler()
 		mux.Handle("/v1/workers", wh)
 		mux.Handle("/v1/workers/", wh)
+		mux.Handle("POST /v1/stream", wh)
 		mux.Handle("GET /v1/fleet", wh)
 	}
 	return mux

@@ -22,11 +22,18 @@ import (
 // production defaults (2s × 3) encode. Tests that need eviction pass a
 // tighter missed count and shrink the trial instead.
 func newRemoteServer(t *testing.T, cfg Config, missedHeartbeats int) (*Service, *client.Client, *exec.Remote) {
+	return newRemoteServerWire(t, cfg, missedHeartbeats, "")
+}
+
+// newRemoteServerWire is newRemoteServer with an explicit wire protocol
+// restriction ("" mounts both wires).
+func newRemoteServerWire(t *testing.T, cfg Config, missedHeartbeats int, wire string) (*Service, *client.Client, *exec.Remote) {
 	t.Helper()
 	remote := exec.NewRemote(exec.RemoteConfig{
 		HeartbeatInterval: 150 * time.Millisecond,
 		MissedHeartbeats:  missedHeartbeats,
 		LeaseWait:         100 * time.Millisecond,
+		Wire:              wire,
 		Logf:              t.Logf,
 	})
 	cfg.Remote = remote
@@ -40,12 +47,19 @@ func newRemoteServer(t *testing.T, cfg Config, missedHeartbeats int) (*Service, 
 // startAgent runs an in-process worker agent against the service's
 // base URL; the returned cancel kills it (the process-crash stand-in).
 func startAgent(t *testing.T, baseURL string, capacity int) context.CancelFunc {
+	return startAgentWire(t, baseURL, capacity, "")
+}
+
+// startAgentWire is startAgent speaking an explicit wire protocol
+// ("" = the JSON long-poll wire, exec.WireBinary = the framed stream).
+func startAgentWire(t *testing.T, baseURL string, capacity int, wire string) context.CancelFunc {
 	t.Helper()
 	ctx, cancel := context.WithCancel(context.Background())
 	agent := exec.NewAgent(exec.AgentConfig{
 		Server:   baseURL,
 		Name:     "test-agent",
 		Capacity: capacity,
+		Wire:     wire,
 	})
 	var wg sync.WaitGroup
 	wg.Add(1)
@@ -124,10 +138,56 @@ func TestRemoteBackendMatchesLocal(t *testing.T) {
 	}
 }
 
-// TestRemoteJobSurvivesWorkerDeath is the end-to-end crash regression:
-// one of two workers dies mid-job, the daemon evicts it and requeues its
-// leases, and the job still completes — with the exact result a healthy
-// run produces.
+// TestCrossWireJobParity is the transport-parity acceptance criterion at
+// the service layer: the same job run on a JSON-wire fleet and a
+// binary-stream fleet must produce JobResult JSON byte-identical to each
+// other and to the local backend. Each fleet is wire-restricted, so the
+// test also pins the -exec-wire gating (an agent on the matching wire
+// connects; the fleet snapshot reports the wire kind).
+func TestCrossWireJobParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-wire parity runs full trial compute on two fleets; CI races it in the execution-plane step")
+	}
+	req := smallReq("lenet/mnist")
+	req.Epochs = 2
+
+	_, localCl := newServer(t, Config{})
+	want := runOne(t, localCl, req)
+	if want.State != api.StateDone {
+		t.Fatalf("local job ended %v (%s)", want.State, want.Error)
+	}
+	wantJSON := resultJSON(t, want)
+
+	for _, wire := range []string{exec.WireJSON, exec.WireBinary} {
+		t.Run(wire, func(t *testing.T) {
+			_, remoteCl, remote := newRemoteServerWire(t, Config{}, 20, wire)
+			startAgentWire(t, remoteCl.BaseURL, 2, wire)
+			startAgentWire(t, remoteCl.BaseURL, 2, wire)
+
+			got := runOne(t, remoteCl, req)
+			if got.State != api.StateDone {
+				t.Fatalf("%s-wire job ended %v (%s)", wire, got.State, got.Error)
+			}
+			if resultJSON(t, got) != wantJSON {
+				t.Fatalf("%s-wire JobResult diverges from the local backend's", wire)
+			}
+			fs := remote.Fleet()
+			if fs.Wire != wire {
+				t.Fatalf("fleet wire = %q, want %q", fs.Wire, wire)
+			}
+			if fs.CompletedTrials == 0 {
+				t.Fatalf("%s-wire fleet completed no trials", wire)
+			}
+		})
+	}
+}
+
+// TestRemoteJobSurvivesWorkerDeath is the end-to-end crash regression,
+// run once per wire protocol: one of two workers dies mid-job, the
+// daemon evicts it and requeues its leases, and the job still completes
+// — with the exact result a healthy run produces. On the JSON wire the
+// death is detected by missed heartbeats; on the binary wire the severed
+// stream itself triggers the eviction.
 func TestRemoteJobSurvivesWorkerDeath(t *testing.T) {
 	if testing.Short() {
 		t.Skip("worker-death recovery runs full trial compute; CI races it in the execution-plane step")
@@ -141,8 +201,16 @@ func TestRemoteJobSurvivesWorkerDeath(t *testing.T) {
 	_, localCl := newServer(t, Config{})
 	want := runOne(t, localCl, req)
 
-	_, remoteCl, remote := newRemoteServer(t, Config{}, 6)
-	killFirst := startAgent(t, remoteCl.BaseURL, 1)
+	for _, wire := range []string{exec.WireJSON, exec.WireBinary} {
+		t.Run(wire, func(t *testing.T) {
+			testWorkerDeath(t, wire, req, resultJSON(t, want))
+		})
+	}
+}
+
+func testWorkerDeath(t *testing.T, wire string, req api.JobRequest, want string) {
+	_, remoteCl, remote := newRemoteServerWire(t, Config{}, 6, wire)
+	killFirst := startAgentWire(t, remoteCl.BaseURL, 1, wire)
 
 	ctx := context.Background()
 	st, err := remoteCl.Submit(ctx, req)
@@ -158,7 +226,7 @@ func TestRemoteJobSurvivesWorkerDeath(t *testing.T) {
 		time.Sleep(2 * time.Millisecond)
 	}
 	killFirst()
-	startAgent(t, remoteCl.BaseURL, 2)
+	startAgentWire(t, remoteCl.BaseURL, 2, wire)
 
 	final, err := remoteCl.Wait(ctx, st.ID, 20*time.Millisecond)
 	if err != nil {
@@ -167,7 +235,7 @@ func TestRemoteJobSurvivesWorkerDeath(t *testing.T) {
 	if final.State != api.StateDone {
 		t.Fatalf("job after worker death ended %v (%s), want done", final.State, final.Error)
 	}
-	if resultJSON(t, final) != resultJSON(t, want) {
+	if resultJSON(t, final) != want {
 		t.Fatal("post-crash JobResult diverges from a healthy run")
 	}
 	fs := remote.Fleet()
