@@ -52,6 +52,7 @@ import (
 
 	"pipetune/internal/exec"
 	"pipetune/internal/gt"
+	"pipetune/internal/metrics"
 	"pipetune/internal/tune"
 	"pipetune/internal/workload"
 )
@@ -259,6 +260,15 @@ type (
 	FleetStatus = exec.FleetStatus
 	// WorkerStatus is one worker's row in FleetStatus.
 	WorkerStatus = exec.WorkerStatus
+	// MetricsSnapshot is the GET /v1/metrics body: the full metrics
+	// registry as typed JSON — every family the Prometheus /metrics page
+	// exposes, with summaries carrying count/sum/min/max and the exported
+	// quantiles instead of text-format series.
+	MetricsSnapshot = metrics.RegistrySnapshot
+	// MetricsFamily is one named family in a MetricsSnapshot.
+	MetricsFamily = metrics.Family
+	// MetricsSample is one labelled series within a family.
+	MetricsSample = metrics.Sample
 )
 
 // Health is the GET /healthz body.

@@ -304,6 +304,15 @@ func (c *Client) Fleet(ctx context.Context) (api.FleetStatus, error) {
 	return fs, err
 }
 
+// Metrics fetches the daemon's metrics registry as a typed snapshot —
+// the JSON twin of the Prometheus text page at /metrics. Daemons running
+// with metrics disabled answer 404.
+func (c *Client) Metrics(ctx context.Context) (api.MetricsSnapshot, error) {
+	var ms api.MetricsSnapshot
+	err := c.do(ctx, http.MethodGet, "/v1/metrics", nil, &ms, true)
+	return ms, err
+}
+
 // Wait polls until the job reaches a terminal state and returns the final
 // status. poll <= 0 defaults to 200ms.
 func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (api.JobStatus, error) {

@@ -13,6 +13,7 @@
 //	          [-tenant-weight name=w ...]
 //	          [-exec-backend local] [-exec-wire binary] [-worker-token secret]
 //	          [-worker-heartbeat 2s] [-worker-evict-after 3]
+//	          [-metrics-enabled] [-metrics-mirror-interval 10s]
 //	          [-pprof-addr localhost:6060]
 //
 // Trial execution is a pluggable plane: the default -exec-backend=local
@@ -40,6 +41,16 @@
 // -pprof-addr serves net/http/pprof on a separate listener (off by
 // default) for profiling the live daemon without exposing the profiling
 // surface on the public API port.
+//
+// The observability plane is on by default: every layer (admission
+// queue, job dispatch, ground-truth store and WAL, execution plane,
+// worker fleet) publishes into one shared metrics registry, exposed as
+// Prometheus text at GET /metrics and as typed JSON at GET /v1/metrics,
+// and mirrored into an in-memory time-series database every
+// -metrics-mirror-interval. Remote workers ship their local series
+// (trial compute time, epochs, stream codec errors) piggybacked on the
+// heartbeats they already send; both wires carry them.
+// -metrics-enabled=false turns the whole plane off.
 //
 // Job dispatch across tenants is policy-driven: the default -job-policy
 // fifo reproduces the classic submission-order schedule exactly;
@@ -86,7 +97,9 @@ import (
 	"pipetune/internal/exec"
 	"pipetune/internal/gt"
 	"pipetune/internal/httpserve"
+	"pipetune/internal/metrics"
 	"pipetune/internal/service"
+	"pipetune/internal/tsdb"
 )
 
 // weightFlags collects repeatable -tenant-weight name=w flags.
@@ -140,6 +153,8 @@ func run() error {
 		beatFlag      = flag.Duration("worker-heartbeat", 2*time.Second, "heartbeat cadence expected from workers")
 		evictFlag     = flag.Int("worker-evict-after", 3, "consecutive missed heartbeats before a worker is evicted and its leases requeued")
 		pprofFlag     = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = off)")
+		metricsFlag   = flag.Bool("metrics-enabled", true, "publish the metrics registry at GET /metrics (Prometheus text) and GET /v1/metrics (typed JSON)")
+		mirrorFlag    = flag.Duration("metrics-mirror-interval", 10*time.Second, "cadence of the registry mirror into the in-memory time-series DB")
 		weights       = weightFlags{}
 	)
 	flag.Var(weights, "tenant-weight", "fair-share weight as name=w (repeatable; unlisted tenants weigh 1)")
@@ -164,6 +179,15 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown -exec-wire %q (want binary, json or both)", *wireFlag)
 	}
+	// One registry for every layer: the service, the admission queue, the
+	// ground-truth store and the execution plane all publish into it, so
+	// a single /metrics scrape sees the whole daemon.
+	var reg *metrics.Registry
+	var metricsDB *tsdb.DB
+	if *metricsFlag {
+		reg = metrics.NewRegistry()
+		metricsDB = tsdb.New()
+	}
 	var remote *exec.Remote
 	switch *execFlag {
 	case "local":
@@ -173,6 +197,7 @@ func run() error {
 			MissedHeartbeats:  *evictFlag,
 			Token:             *tokenFlag,
 			Wire:              wire,
+			Metrics:           reg,
 			Logf:              logger.Printf,
 		})
 	default:
@@ -187,17 +212,21 @@ func run() error {
 		return err
 	}
 	svc, err := service.New(service.Config{
-		System:           sys,
-		Workers:          *workersFlag,
-		QueueDepth:       *queueFlag,
-		GTPath:           *gtFlag,
-		CompactEvery:     *gtCompactFlag,
-		SnapshotInterval: *gtSnapFlag,
-		JobPolicy:        *jobPolicyFlag,
-		TenantWeights:    weights,
-		Remote:           remote,
-		DrainTimeout:     *drainFlag,
-		Logf:             logger.Printf,
+		System:                sys,
+		Workers:               *workersFlag,
+		QueueDepth:            *queueFlag,
+		GTPath:                *gtFlag,
+		CompactEvery:          *gtCompactFlag,
+		SnapshotInterval:      *gtSnapFlag,
+		JobPolicy:             *jobPolicyFlag,
+		TenantWeights:         weights,
+		Remote:                remote,
+		DrainTimeout:          *drainFlag,
+		Metrics:               reg,
+		MetricsDB:             metricsDB,
+		MetricsMirrorInterval: *mirrorFlag,
+		DisableMetrics:        !*metricsFlag,
+		Logf:                  logger.Printf,
 	})
 	if err != nil {
 		return err

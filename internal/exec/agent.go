@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pipetune/internal/params"
@@ -59,6 +60,12 @@ type Agent struct {
 
 	mu       sync.Mutex
 	trainers map[TrainerConfig]*trainer.Runner // corpus caches stay warm across trials
+
+	// stats is the current JSON-wire session's telemetry collector
+	// (heartbeats ship its snapshots); swapped per session so the
+	// daemon's per-registration delta baseline of zero is exact. The
+	// binary wire keeps its collector on the stream session instead.
+	stats atomic.Pointer[workerStats]
 }
 
 // NewAgent builds an agent.
@@ -134,6 +141,8 @@ func (a *Agent) register(ctx context.Context) (RegisterResponse, error) {
 func (a *Agent) session(ctx context.Context, reg RegisterResponse) {
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	st := newWorkerStats()
+	a.stats.Store(st)
 
 	hb := a.cfg.Heartbeat
 	if hb <= 0 {
@@ -161,7 +170,11 @@ func (a *Agent) session(ctx context.Context, reg RegisterResponse) {
 			case <-sctx.Done():
 				return
 			case <-t.C:
-				code, err := a.doJSON(sctx, "/v1/workers/"+reg.WorkerID+"/heartbeat", nil, nil, 2*hb)
+				// The beat carries the cumulative telemetry snapshot as
+				// its (otherwise empty) body — the JSON-wire twin of the
+				// binary Stats frame.
+				series := st.series()
+				code, err := a.doJSON(sctx, "/v1/workers/"+reg.WorkerID+"/heartbeat", HeartbeatRequest{Series: &series}, nil, 2*hb)
 				if err == nil && (code == http.StatusNotFound || code == http.StatusUnauthorized) {
 					// Evicted, or the daemon's token rotated: end the
 					// session. Run re-registers — and surfaces
@@ -238,7 +251,13 @@ func (a *Agent) runAssignment(ctx context.Context, endSession context.CancelFunc
 			return dir.Sys
 		})
 	}
+	start := time.Now()
 	res, err := runBody(tr, asg, obs)
+	epochs := 0
+	if res != nil {
+		epochs = len(res.Epochs)
+	}
+	a.stats.Load().observeTrial(time.Since(start).Seconds(), epochs)
 	req := CompleteRequest{Attempt: asg.Attempt}
 	switch {
 	case revoked:
@@ -350,6 +369,7 @@ func (a *Agent) doJSON(ctx context.Context, path string, in, out any, timeout ti
 	if in != nil {
 		buf, err := json.Marshal(in)
 		if err != nil {
+			a.stats.Load().encodeError()
 			return 0, fmt.Errorf("exec: encode %s: %w", path, err)
 		}
 		body = bytes.NewReader(buf)
@@ -375,6 +395,7 @@ func (a *Agent) doJSON(ctx context.Context, path string, in, out any, timeout ti
 	defer resp.Body.Close()
 	if resp.StatusCode == http.StatusOK && out != nil {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			a.stats.Load().decodeError()
 			return 0, fmt.Errorf("exec: decode %s: %w", path, err)
 		}
 	} else {

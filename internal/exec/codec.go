@@ -48,6 +48,7 @@ import (
 	"sync"
 	"time"
 
+	"pipetune/internal/metrics"
 	"pipetune/internal/params"
 	"pipetune/internal/perf"
 	"pipetune/internal/trainer"
@@ -83,6 +84,7 @@ const (
 	frameComplete                  // worker → daemon: at-most-once result commit
 	frameAck                       // daemon → worker: commit outcome
 	frameDrain                     // daemon → worker: plane draining, no further grants
+	frameStats                     // worker → daemon: cumulative telemetry snapshot (piggybacks heartbeats)
 )
 
 // Ack codes.
@@ -152,6 +154,10 @@ type frameWriter struct {
 	mu  sync.Mutex
 	w   io.Writer
 	buf []byte // reused header+payload assembly; grown, never shrunk
+	// txFrames/txBytes, when set (daemon side), count sent traffic.
+	// Nil-safe no-ops otherwise.
+	txFrames *metrics.Counter
+	txBytes  *metrics.Counter
 }
 
 func (fw *frameWriter) send(ft byte, payload []byte) error {
@@ -170,6 +176,10 @@ func (fw *frameWriter) send(ft byte, payload []byte) error {
 	binary.LittleEndian.PutUint32(b[5:9], crc32.ChecksumIEEE(payload))
 	copy(b[frameHeaderLen:], payload)
 	_, err := fw.w.Write(b)
+	if err == nil {
+		fw.txFrames.Inc()
+		fw.txBytes.Add(uint64(need))
+	}
 	return err
 }
 
@@ -652,4 +662,52 @@ func decodeAck(p []byte) (leaseID []byte, attempt int, code byte, err error) {
 	attempt = int(r.uvarint())
 	code = r.u8()
 	return leaseID, attempt, code, r.finish()
+}
+
+// --- Stats (heartbeat-piggybacked worker telemetry) ------------------
+//
+// The payload is a cumulative WorkerSeries snapshot: four counters, the
+// trial-time sketch's count/sum/min/max, then only its occupied buckets
+// as (index, count) pairs. A worker's sketch spans a handful of octaves
+// in practice, so the frame stays within tens of bytes.
+
+func encodeStats(w *wirebuf, s WorkerSeries) {
+	w.u8(1) // stats codec version
+	w.uvarint(s.Trials)
+	w.uvarint(s.Epochs)
+	w.uvarint(s.EncodeErrors)
+	w.uvarint(s.DecodeErrors)
+	w.uvarint(s.TrialSeconds.Count)
+	w.f64(s.TrialSeconds.Sum)
+	w.f64(s.TrialSeconds.Min)
+	w.f64(s.TrialSeconds.Max)
+	w.uvarint(uint64(len(s.TrialSeconds.Buckets)))
+	for _, b := range s.TrialSeconds.Buckets {
+		w.uvarint(uint64(b.Index))
+		w.uvarint(b.Count)
+	}
+}
+
+func decodeStats(p []byte) (WorkerSeries, error) {
+	r := wireReader{b: p}
+	if v := r.u8(); r.err == nil && v != 1 {
+		return WorkerSeries{}, fmt.Errorf("%w: unsupported stats version %d", errFrameCorrupt, v)
+	}
+	var s WorkerSeries
+	s.Trials = r.uvarint()
+	s.Epochs = r.uvarint()
+	s.EncodeErrors = r.uvarint()
+	s.DecodeErrors = r.uvarint()
+	s.TrialSeconds.Count = r.uvarint()
+	s.TrialSeconds.Sum = r.f64()
+	s.TrialSeconds.Min = r.f64()
+	s.TrialSeconds.Max = r.f64()
+	n := r.count(2)
+	for i := 0; i < n && r.err == nil; i++ {
+		s.TrialSeconds.Buckets = append(s.TrialSeconds.Buckets, metrics.BucketCount{
+			Index: int(r.uvarint()),
+			Count: r.uvarint(),
+		})
+	}
+	return s, r.finish()
 }

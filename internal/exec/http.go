@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"time"
@@ -28,11 +29,11 @@ import (
 func (r *Remote) Handler() http.Handler {
 	mux := http.NewServeMux()
 	if r.cfg.Wire == "" || r.cfg.Wire == WireJSON {
-		mux.HandleFunc("POST /v1/workers", r.authed(r.handleRegister))
-		mux.HandleFunc("POST /v1/workers/{id}/heartbeat", r.authed(r.handleHeartbeat))
-		mux.HandleFunc("POST /v1/workers/{id}/lease", r.authed(r.handleLease))
-		mux.HandleFunc("POST /v1/workers/{id}/leases/{lease}/epoch", r.authed(r.handleEpoch))
-		mux.HandleFunc("POST /v1/workers/{id}/leases/{lease}/complete", r.authed(r.handleComplete))
+		mux.HandleFunc("POST /v1/workers", r.authed(r.jsonWire(r.handleRegister)))
+		mux.HandleFunc("POST /v1/workers/{id}/heartbeat", r.authed(r.jsonWire(r.handleHeartbeat)))
+		mux.HandleFunc("POST /v1/workers/{id}/lease", r.authed(r.jsonWire(r.handleLease)))
+		mux.HandleFunc("POST /v1/workers/{id}/leases/{lease}/epoch", r.authed(r.jsonWire(r.handleEpoch)))
+		mux.HandleFunc("POST /v1/workers/{id}/leases/{lease}/complete", r.authed(r.jsonWire(r.handleComplete)))
 	}
 	if r.cfg.Wire == "" || r.cfg.Wire == WireBinary {
 		mux.HandleFunc("POST /v1/stream", r.authed(r.handleStream))
@@ -98,7 +99,21 @@ func (r *Remote) handleRegister(w http.ResponseWriter, req *http.Request) {
 }
 
 func (r *Remote) handleHeartbeat(w http.ResponseWriter, req *http.Request) {
-	if err := r.Heartbeat(req.PathValue("id")); err != nil {
+	// The body is optional: workers that collect telemetry piggyback a
+	// cumulative snapshot on the beat — the JSON twin of the binary
+	// wire's Stats frame. An empty body is a plain liveness beat.
+	var body HeartbeatRequest
+	if err := json.NewDecoder(req.Body).Decode(&body); err != nil && !errors.Is(err, io.EOF) {
+		writeWireJSON(w, http.StatusBadRequest, wireError{Error: fmt.Sprintf("exec: decode heartbeat: %v", err)})
+		return
+	}
+	id := req.PathValue("id")
+	if body.Series != nil {
+		if err := r.IngestWorkerSeries(id, *body.Series); err != nil {
+			writeWireErr(w, err)
+			return
+		}
+	} else if err := r.Heartbeat(id); err != nil {
 		writeWireErr(w, err)
 		return
 	}
@@ -151,4 +166,45 @@ func (r *Remote) handleComplete(w http.ResponseWriter, req *http.Request) {
 
 func (r *Remote) handleFleet(w http.ResponseWriter, _ *http.Request) {
 	writeWireJSON(w, http.StatusOK, r.Fleet())
+}
+
+// jsonWire wraps a long-poll route with per-wire traffic accounting: one
+// rx "frame" per request and one tx "frame" per response (the JSON
+// wire's unit of exchange), plus the body bytes actually read and
+// written. The binary stream counts its frames in serveStream instead.
+func (r *Remote) jsonWire(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		cr := &countingReader{rc: req.Body}
+		req.Body = cr
+		cw := &countingWriter{ResponseWriter: w}
+		h(cw, req)
+		r.met.jsonRxFrames.Inc()
+		r.met.jsonTxFrames.Inc()
+		r.met.jsonRxBytes.Add(cr.n)
+		r.met.jsonTxBytes.Add(cw.n)
+	}
+}
+
+type countingReader struct {
+	rc io.ReadCloser
+	n  uint64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.rc.Read(p)
+	c.n += uint64(n)
+	return n, err
+}
+
+func (c *countingReader) Close() error { return c.rc.Close() }
+
+type countingWriter struct {
+	http.ResponseWriter
+	n uint64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.ResponseWriter.Write(p)
+	c.n += uint64(n)
+	return n, err
 }

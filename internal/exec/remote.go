@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"pipetune/internal/metrics"
 	"pipetune/internal/trainer"
 )
 
@@ -51,6 +52,12 @@ type RemoteConfig struct {
 	Wire string
 	// Logf receives operational log lines (nil = silent).
 	Logf func(format string, args ...any)
+	// Metrics is the registry the execution plane reports into. Nil
+	// creates a private one: the fleet surfaces (FleetStatus, and
+	// through it /healthz) are derived from registry counters, so a
+	// registry always exists. The service adopts a configured Remote's
+	// registry to keep one namespace — see Remote.MetricsRegistry.
+	Metrics *metrics.Registry
 
 	// now is injectable for eviction tests; nil means time.Now.
 	now func() time.Time
@@ -69,6 +76,9 @@ func (c RemoteConfig) withDefaults() RemoteConfig {
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
+	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.NewRegistry()
 	}
 	if c.now == nil {
 		c.now = time.Now
@@ -144,6 +154,10 @@ type workerEntry struct {
 	// partitioned) does not keep a half-dead stream open; the stream's
 	// reader unblocks and the session ends. Nil for JSON-wire workers.
 	closeStream func()
+	// series is the last heartbeat-shipped cumulative telemetry
+	// snapshot from this registration; the next snapshot is diffed
+	// against it before folding into the fleet aggregates.
+	series WorkerSeries
 }
 
 // Remote is the fleet execution backend: trials submitted by Run are
@@ -171,10 +185,13 @@ type Remote struct {
 	nextLease    int
 	draining     bool
 	closed       bool
-	completed    int
-	requeued     int
 	stopReaper   chan struct{}
 	reaperDone   chan struct{}
+
+	// met holds the resolved metrics handles; completed/requeued counts
+	// live in the registry (the single source FleetStatus and /metrics
+	// both read).
+	met *remoteMetrics
 }
 
 // NewRemote builds the backend and starts its heartbeat reaper.
@@ -187,9 +204,14 @@ func NewRemote(cfg RemoteConfig) *Remote {
 		reaperDone: make(chan struct{}),
 	}
 	r.cond = sync.NewCond(&r.mu)
+	r.met = newRemoteMetrics(r.cfg.Metrics)
 	go r.reaper()
 	return r
 }
+
+// MetricsRegistry returns the registry the execution plane reports
+// into, so the embedding service can expose one namespace.
+func (r *Remote) MetricsRegistry() *metrics.Registry { return r.cfg.Metrics }
 
 // Name implements Backend.
 func (r *Remote) Name() string { return "remote" }
@@ -325,7 +347,7 @@ func (r *Remote) terminalizeLocked(l *lease, res *trainer.Result, err error) {
 		l.state = leaseFailed
 	} else {
 		l.state = leaseDone
-		r.completed++
+		r.met.completed.Inc()
 	}
 	if l.worker != "" {
 		if w := r.workers[l.worker]; w != nil {
@@ -430,6 +452,7 @@ func (r *Remote) NextLease(workerID string, wait time.Duration) (*Assignment, er
 				StreamEpochs: l.trial.Observer != nil,
 				Trainer:      l.trial.Trainer,
 			}
+			r.met.leaseGrants.Inc()
 			return asg, nil
 		}
 		if !time.Now().Before(deadline) {
@@ -534,14 +557,18 @@ func (r *Remote) commitLocked(workerID string, l *lease, attempt int, res *train
 		// to another worker now instead of waiting for this worker's
 		// eviction.
 		delete(w.inflight, l.id)
+		r.met.commits.With("abandoned").Inc()
 		r.requeueLocked(l)
 		return nil
 	case errMsg != "":
+		r.met.commits.With("failed").Inc()
 		r.terminalizeLocked(l, nil, fmt.Errorf("exec: worker %s: %s", workerID, errMsg))
 	default:
 		if res != nil {
+			r.met.commits.With("committed").Inc()
 			r.terminalizeLocked(l, res, nil)
 		} else {
+			r.met.commits.With("empty").Inc()
 			r.terminalizeLocked(l, nil, fmt.Errorf("exec: worker %s committed an empty result", workerID))
 		}
 	}
@@ -584,7 +611,7 @@ func (r *Remote) requeueLocked(l *lease) {
 	l.lastEpoch = 0 // the new attempt replays from epoch one
 	l.lastDirective = EpochDirective{}
 	r.pending = append([]*lease{l}, r.pending...)
-	r.requeued++
+	r.met.requeues.Inc()
 	r.cond.Broadcast()
 }
 
@@ -631,6 +658,7 @@ func (r *Remote) evictStale() {
 // backend), which makes running it under r.mu safe. Callers hold r.mu.
 func (r *Remote) evictLocked(w *workerEntry, why string) {
 	w.state = workerEvicted
+	r.met.evictions.Inc()
 	if w.closeStream != nil {
 		// Sever the binary stream: the session's reader unblocks and the
 		// worker re-registers, exactly like a JSON worker's 404.
@@ -772,8 +800,8 @@ func (r *Remote) Fleet() FleetStatus {
 		Draining:        r.draining,
 		PendingTrials:   len(r.pending),
 		LeasedTrials:    r.leasedCountLocked(),
-		CompletedTrials: r.completed,
-		RequeuedTrials:  r.requeued,
+		CompletedTrials: int(r.met.completed.Value()),
+		RequeuedTrials:  int(r.met.requeues.Value()),
 	}
 	for _, w := range r.workers {
 		fs.Workers = append(fs.Workers, WorkerStatus{

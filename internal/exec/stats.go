@@ -1,0 +1,189 @@
+package exec
+
+import (
+	"sync/atomic"
+
+	"pipetune/internal/metrics"
+)
+
+// WorkerSeries is a worker's cumulative local telemetry, piggybacked
+// on existing heartbeat traffic rather than scraped: the binary wire
+// appends a Stats frame after each heartbeat frame, the JSON wire
+// carries it as the (previously empty) heartbeat request body. Values
+// are cumulative per worker session — the daemon diffs consecutive
+// snapshots from one registration and folds the delta into its own
+// registry, so fleet-wide aggregates survive re-registration without
+// double counting. The tail between a worker's last heartbeat and its
+// death is lost by design (at most one beat interval of telemetry).
+type WorkerSeries struct {
+	// Trials counts trial bodies computed (successfully or not);
+	// Epochs counts the epoch records those bodies produced.
+	Trials uint64 `json:"trials"`
+	Epochs uint64 `json:"epochs"`
+	// TrialSeconds is the sketch of per-trial wall compute time; its
+	// Sum is total compute seconds, so epochs/sec falls out as
+	// Epochs / TrialSeconds.Sum.
+	TrialSeconds metrics.DistSnapshot `json:"trialSeconds"`
+	// EncodeErrors / DecodeErrors count wire codec and transport
+	// failures observed worker-side (frame or JSON encode/send vs
+	// decode/receive).
+	EncodeErrors uint64 `json:"encodeErrors,omitempty"`
+	DecodeErrors uint64 `json:"decodeErrors,omitempty"`
+}
+
+// HeartbeatRequest is the JSON-wire heartbeat body. Empty bodies
+// remain valid (older workers send none), so the field is a pointer.
+type HeartbeatRequest struct {
+	Series *WorkerSeries `json:"series,omitempty"`
+}
+
+// workerStats is the worker-side collector behind WorkerSeries: one
+// per agent session, so cumulative values restart at zero exactly when
+// the daemon's per-registration baseline does.
+type workerStats struct {
+	trials       atomic.Uint64
+	epochs       atomic.Uint64
+	encodeErrs   atomic.Uint64
+	decodeErrs   atomic.Uint64
+	trialSeconds *metrics.Distribution
+}
+
+func newWorkerStats() *workerStats {
+	return &workerStats{trialSeconds: metrics.NewDistribution()}
+}
+
+// observeTrial records one finished trial body.
+func (s *workerStats) observeTrial(seconds float64, epochs int) {
+	if s == nil {
+		return
+	}
+	s.trials.Add(1)
+	s.epochs.Add(uint64(epochs))
+	s.trialSeconds.Observe(seconds)
+}
+
+func (s *workerStats) encodeError() {
+	if s != nil {
+		s.encodeErrs.Add(1)
+	}
+}
+
+func (s *workerStats) decodeError() {
+	if s != nil {
+		s.decodeErrs.Add(1)
+	}
+}
+
+// series snapshots the cumulative state for shipping.
+func (s *workerStats) series() WorkerSeries {
+	if s == nil {
+		return WorkerSeries{}
+	}
+	return WorkerSeries{
+		Trials:       s.trials.Load(),
+		Epochs:       s.epochs.Load(),
+		TrialSeconds: s.trialSeconds.Snapshot(),
+		EncodeErrors: s.encodeErrs.Load(),
+		DecodeErrors: s.decodeErrs.Load(),
+	}
+}
+
+// remoteMetrics holds the execution plane's resolved registry handles.
+// The Remote always carries one (over a private registry when none is
+// configured): the fleet surfaces — FleetStatus.CompletedTrials,
+// /healthz — read these same counters, so health and /metrics cannot
+// disagree.
+type remoteMetrics struct {
+	reg *metrics.Registry
+
+	leaseGrants *metrics.Counter
+	evictions   *metrics.Counter
+	requeues    *metrics.Counter
+	completed   *metrics.Counter
+	commits     *metrics.CounterVec // outcome: committed|failed|abandoned|empty
+
+	// Wire traffic, pre-resolved per (wire, dir).
+	binRxFrames, binTxFrames   *metrics.Counter
+	binRxBytes, binTxBytes     *metrics.Counter
+	jsonRxFrames, jsonTxFrames *metrics.Counter
+	jsonRxBytes, jsonTxBytes   *metrics.Counter
+
+	// Fleet-wide worker series, labelled by worker name.
+	workerTrials       *metrics.CounterVec
+	workerEpochs       *metrics.CounterVec
+	workerErrors       *metrics.CounterVec // worker, kind: encode|decode
+	workerTrialSeconds *metrics.DistributionVec
+}
+
+func newRemoteMetrics(reg *metrics.Registry) *remoteMetrics {
+	m := &remoteMetrics{
+		reg: reg,
+		leaseGrants: reg.Counter("pipetune_exec_lease_grants_total",
+			"Trial leases granted to workers (both wires)."),
+		evictions: reg.Counter("pipetune_exec_evictions_total",
+			"Workers evicted for missed heartbeats, stream loss or corrupt frames."),
+		requeues: reg.Counter("pipetune_exec_requeues_total",
+			"Lease reassignments after eviction or worker abandonment."),
+		completed: reg.Counter("pipetune_exec_completed_trials_total",
+			"Trials that reached a successful terminal result."),
+		commits: reg.CounterVec("pipetune_exec_commits_total",
+			"Worker result commits by outcome.", "outcome"),
+		workerTrials: reg.CounterVec("pipetune_worker_trials_total",
+			"Trial bodies computed, by worker (heartbeat-shipped).", "worker"),
+		workerEpochs: reg.CounterVec("pipetune_worker_epochs_total",
+			"Epoch records computed, by worker (heartbeat-shipped).", "worker"),
+		workerErrors: reg.CounterVec("pipetune_worker_stream_errors_total",
+			"Worker-observed wire errors, by worker and kind.", "worker", "kind"),
+		workerTrialSeconds: reg.DistributionVec("pipetune_worker_trial_seconds",
+			"Per-trial wall compute time, by worker (heartbeat-shipped sketch).", "worker"),
+	}
+	bytes := reg.CounterVec("pipetune_exec_wire_bytes_total",
+		"Wire payload bytes by protocol and direction (daemon view).", "wire", "dir")
+	frames := reg.CounterVec("pipetune_exec_wire_frames_total",
+		"Wire frames (binary) or requests/responses (json) by direction.", "wire", "dir")
+	m.binRxFrames, m.binTxFrames = frames.With("binary", "rx"), frames.With("binary", "tx")
+	m.binRxBytes, m.binTxBytes = bytes.With("binary", "rx"), bytes.With("binary", "tx")
+	m.jsonRxFrames, m.jsonTxFrames = frames.With("json", "rx"), frames.With("json", "tx")
+	m.jsonRxBytes, m.jsonTxBytes = bytes.With("json", "rx"), bytes.With("json", "tx")
+	return m
+}
+
+// ingestSeriesLocked folds one worker's cumulative snapshot into the
+// fleet aggregates. Callers hold r.mu; w is the active registration
+// the snapshot arrived on.
+func (r *Remote) ingestSeriesLocked(w *workerEntry, cur WorkerSeries) {
+	prev := w.series
+	name := w.name
+	if name == "" {
+		name = w.id
+	}
+	if d := cur.Trials - prev.Trials; cur.Trials > prev.Trials {
+		r.met.workerTrials.With(name).Add(d)
+	}
+	if d := cur.Epochs - prev.Epochs; cur.Epochs > prev.Epochs {
+		r.met.workerEpochs.With(name).Add(d)
+	}
+	if d := cur.EncodeErrors - prev.EncodeErrors; cur.EncodeErrors > prev.EncodeErrors {
+		r.met.workerErrors.With(name, "encode").Add(d)
+	}
+	if d := cur.DecodeErrors - prev.DecodeErrors; cur.DecodeErrors > prev.DecodeErrors {
+		r.met.workerErrors.With(name, "decode").Add(d)
+	}
+	r.met.workerTrialSeconds.With(name).Merge(cur.TrialSeconds.Delta(prev.TrialSeconds))
+	w.series = cur
+}
+
+// IngestWorkerSeries records a heartbeat-shipped snapshot from an
+// active worker (JSON wire entry point; the binary wire dispatches the
+// Stats frame to the same ingestion).
+func (r *Remote) IngestWorkerSeries(workerID string, s WorkerSeries) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := r.workers[workerID]
+	if w == nil || w.state != workerActive {
+		return ErrUnknownWorker
+	}
+	w.lastBeat = r.cfg.now()
+	r.ingestSeriesLocked(w, s)
+	return nil
+}

@@ -104,7 +104,7 @@ func (r *Remote) serveStream(conn net.Conn, br *bufio.Reader) {
 	if !r.bindStream(workerID, func() { conn.Close() }) {
 		return
 	}
-	fw := &frameWriter{w: conn}
+	fw := &frameWriter{w: conn, txFrames: r.met.binTxFrames, txBytes: r.met.binTxBytes}
 	wb := getWirebuf()
 	encodeWelcome(wb, resp)
 	err = fw.send(frameWelcome, wb.b)
@@ -125,6 +125,8 @@ func (r *Remote) serveStream(conn net.Conn, br *bufio.Reader) {
 			}
 			break
 		}
+		r.met.binRxFrames.Inc()
+		r.met.binRxBytes.Add(uint64(frameHeaderLen + len(p)))
 		if err := r.dispatchFrame(fw, workerID, ft, p); err != nil {
 			why = err.Error()
 			break
@@ -144,6 +146,16 @@ func (r *Remote) dispatchFrame(fw *frameWriter, workerID string, ft byte, p []by
 	case frameHeartbeat:
 		if err := r.Heartbeat(workerID); err != nil {
 			return fmt.Errorf("heartbeat rejected: %v", err)
+		}
+		return nil
+
+	case frameStats:
+		s, err := decodeStats(p)
+		if err != nil {
+			return fmt.Errorf("corrupt stats frame: %v", err)
+		}
+		if err := r.IngestWorkerSeries(workerID, s); err != nil {
+			return fmt.Errorf("stats rejected: %v", err)
 		}
 		return nil
 
@@ -257,6 +269,7 @@ func (r *Remote) grantLoop(fw *frameWriter, workerID string) {
 			claim = append(claim, l)
 		}
 		r.pending = r.pending[n:]
+		r.met.leaseGrants.Add(uint64(len(claim)))
 		wb := getWirebuf()
 		wb.uvarint(uint64(len(claim)))
 		for _, l := range claim {

@@ -81,6 +81,11 @@ type streamSession struct {
 	mu      sync.Mutex
 	waiters map[string]*streamWaiter // lease id -> the slot's parked RPC
 
+	// stats is this session's cumulative telemetry, shipped as a Stats
+	// frame alongside every heartbeat. Per-session (not per-agent) so
+	// the daemon's per-registration delta baseline of zero is exact.
+	stats *workerStats
+
 	dead     chan struct{}
 	deadOnce sync.Once
 	deadErr  error
@@ -109,6 +114,7 @@ func (a *Agent) streamSession(ctx context.Context) error {
 		conn:    conn,
 		fw:      &frameWriter{w: conn},
 		waiters: make(map[string]*streamWaiter),
+		stats:   newWorkerStats(),
 		dead:    make(chan struct{}),
 	}
 	defer s.kill(nil)
@@ -242,6 +248,9 @@ func (s *streamSession) readLoop(br *bufio.Reader, scratch []byte, work chan Ass
 	for {
 		ft, p, err := readFrame(br, &scratch)
 		if err != nil {
+			if errors.Is(err, errFrameCorrupt) {
+				s.stats.decodeError()
+			}
 			s.kill(err)
 			return
 		}
@@ -249,6 +258,7 @@ func (s *streamSession) readLoop(br *bufio.Reader, scratch []byte, work chan Ass
 		case frameGrant:
 			asgs, err := decodeGrant(p)
 			if err != nil {
+				s.stats.decodeError()
 				s.kill(err)
 				return
 			}
@@ -311,6 +321,18 @@ func (s *streamSession) heartbeatLoop(hb time.Duration) {
 			return
 		case <-t.C:
 			if err := s.fw.send(frameHeartbeat, nil); err != nil {
+				s.stats.encodeError()
+				s.kill(err)
+				return
+			}
+			// Piggyback the cumulative telemetry snapshot on the beat:
+			// the daemon diffs it against the previous one, so losing
+			// any individual frame only delays aggregation by a beat.
+			wb := getWirebuf()
+			encodeStats(wb, s.stats.series())
+			err := s.fw.send(frameStats, wb.b)
+			putWirebuf(wb)
+			if err != nil {
 				s.kill(err)
 				return
 			}
@@ -355,7 +377,13 @@ func (s *streamSession) runAssignment(ctx context.Context, asg Assignment) {
 			return dir.Sys
 		})
 	}
+	start := time.Now()
 	res, err := runBody(tr, asg, obs)
+	epochs := 0
+	if res != nil {
+		epochs = len(res.Epochs)
+	}
+	s.stats.observeTrial(time.Since(start).Seconds(), epochs)
 	status, errMsg := completeOK, ""
 	switch {
 	case revoked:
@@ -378,6 +406,7 @@ func (s *streamSession) reportEpoch(asg Assignment, st trainer.EpochStats) (Epoc
 	err := s.fw.send(frameEpoch, wb.b)
 	putWirebuf(wb)
 	if err != nil {
+		s.stats.encodeError()
 		s.kill(err)
 		return EpochDirective{}, false
 	}
@@ -406,6 +435,7 @@ func (s *streamSession) commit(ctx context.Context, asg Assignment, status byte,
 	err := s.fw.send(frameComplete, wb.b)
 	putWirebuf(wb)
 	if err != nil {
+		s.stats.encodeError()
 		s.kill(err)
 		return
 	}

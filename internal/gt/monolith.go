@@ -3,7 +3,9 @@ package gt
 import (
 	"io"
 	"sync"
+	"time"
 
+	"pipetune/internal/metrics"
 	"pipetune/internal/params"
 )
 
@@ -24,6 +26,16 @@ type Monolith struct {
 	hits    int
 	misses  int
 	rev     uint64 // bumped on every mutation; lets callers skip no-op snapshots
+	met     *storeInstruments
+}
+
+// InstrumentMetrics implements Instrumentable.
+func (g *Monolith) InstrumentMetrics(reg *metrics.Registry) {
+	if m := newStoreInstruments(reg); m != nil {
+		g.mu.Lock()
+		g.met = m
+		g.mu.Unlock()
+	}
 }
 
 // NewMonolith creates an empty monolithic database.
@@ -91,6 +103,10 @@ func (g *Monolith) Add(e Entry) error {
 	cp := e.clone()
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	if g.met != nil {
+		start := time.Now()
+		defer func() { g.met.addSeconds.Observe(time.Since(start).Seconds()) }()
+	}
 	g.entries = append(g.entries, cp)
 	g.rev++
 	g.recluster()
@@ -125,6 +141,22 @@ func (g *Monolith) recluster() {
 func (g *Monolith) Lookup(features []float64) (params.SysConfig, bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	if g.met != nil {
+		start := time.Now()
+		defer func() { g.met.lookupSeconds.Observe(time.Since(start).Seconds()) }()
+	}
+	cfg, ok := g.lookupLocked(features)
+	if g.met != nil {
+		if ok {
+			g.met.hits.Inc()
+		} else {
+			g.met.misses.Inc()
+		}
+	}
+	return cfg, ok
+}
+
+func (g *Monolith) lookupLocked(features []float64) (params.SysConfig, bool) {
 	if !g.fitted {
 		g.misses++
 		return params.SysConfig{}, false

@@ -5,7 +5,9 @@ import (
 	"io"
 	"os"
 	"sync"
+	"time"
 
+	"pipetune/internal/metrics"
 	"pipetune/internal/params"
 )
 
@@ -47,6 +49,38 @@ type Persistent struct {
 	nextSeq    uint64 // sequence of the next WAL record
 	compactRev uint64 // inner.Rev() at the last compaction
 	closed     bool
+	met        *walInstruments
+}
+
+// InstrumentMetrics implements Instrumentable: the wrapper reports the
+// durability layer (fsyncs, compactions) and forwards to the inner
+// store for lookup/add series.
+func (p *Persistent) InstrumentMetrics(reg *metrics.Registry) {
+	if reg == nil {
+		return
+	}
+	p.mu.Lock()
+	p.met = newWALInstruments(reg)
+	p.mu.Unlock()
+	if in, ok := p.inner.(Instrumentable); ok {
+		in.InstrumentMetrics(reg)
+	}
+}
+
+// appendWAL wraps one framed log append (p.wal.append or appendBatch
+// both end in exactly one fsync) with the durability instruments.
+// Callers hold p.mu.
+func (p *Persistent) appendWAL(op func() error) error {
+	if p.met == nil {
+		return op()
+	}
+	start := time.Now()
+	err := op()
+	p.met.fsyncSeconds.Observe(time.Since(start).Seconds())
+	if err == nil {
+		p.met.fsyncs.Inc()
+	}
+	return err
 }
 
 // WALPath derives the log path from a snapshot path.
@@ -134,7 +168,7 @@ func (p *Persistent) Add(e Entry) error {
 		return err
 	}
 	rec := walRecord{Seq: p.nextSeq, Entry: e}
-	if err := p.wal.append(rec); err != nil {
+	if err := p.appendWAL(func() error { return p.wal.append(rec) }); err != nil {
 		// The entry is live in memory but not durable; callers on the
 		// trial-completion path ignore Add errors by design, so this log
 		// line is the only trace of degraded durability.
@@ -192,7 +226,7 @@ func (p *Persistent) flushLocked(recs []walRecord) error {
 	if len(recs) == 0 {
 		return nil
 	}
-	if err := p.wal.appendBatch(recs); err != nil {
+	if err := p.appendWAL(func() error { return p.wal.appendBatch(recs) }); err != nil {
 		return err
 	}
 	p.nextSeq += uint64(len(recs))
@@ -232,6 +266,9 @@ func (p *Persistent) compactLocked() error {
 		return err
 	}
 	p.compactRev = rev
+	if p.met != nil {
+		p.met.compactions.Inc()
+	}
 	return nil
 }
 

@@ -5,8 +5,10 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pipetune/internal/kmeans"
+	"pipetune/internal/metrics"
 	"pipetune/internal/params"
 	"pipetune/internal/xrand"
 )
@@ -58,6 +60,18 @@ type Sharded struct {
 	// mu serialises table mutations only.
 	mu       sync.Mutex
 	shardSeq uint64 // next shard id, for deterministic refit seeds
+
+	// met is the optional metrics plane, behind an atomic pointer so
+	// instrumenting an already-running store stays race-free with the
+	// lock-free lookup path.
+	met atomic.Pointer[storeInstruments]
+}
+
+// InstrumentMetrics implements Instrumentable.
+func (s *Sharded) InstrumentMetrics(reg *metrics.Registry) {
+	if m := newStoreInstruments(reg); m != nil {
+		s.met.Store(m)
+	}
 }
 
 // shard is one profile-cluster partition.
@@ -177,6 +191,10 @@ func sqDistWithin(a, b []float64, bound float64) (float64, bool) {
 // Add implements Store: route to the nearest shard, append under that
 // shard's lock only, and leave the model refit to the next lookup.
 func (s *Sharded) Add(e Entry) error {
+	if m := s.met.Load(); m != nil {
+		start := time.Now()
+		defer func() { m.addSeconds.Observe(time.Since(start).Seconds()) }()
+	}
 	if err := e.validate(); err != nil {
 		return err
 	}
@@ -357,12 +375,30 @@ func (s *Sharded) split(sh *shard) {
 	}
 	next = append(next, b)
 	s.table.Store(&next)
+	if m := s.met.Load(); m != nil {
+		m.shardSplits.Inc()
+	}
 }
 
 // Lookup implements Store: route under a read lock, match against the
 // shard's copy-on-write model snapshot, refitting first if the watermark
 // shows the model is stale.
 func (s *Sharded) Lookup(features []float64) (params.SysConfig, bool) {
+	if m := s.met.Load(); m != nil {
+		start := time.Now()
+		cfg, ok := s.lookup(features)
+		m.lookupSeconds.Observe(time.Since(start).Seconds())
+		if ok {
+			m.hits.Inc()
+		} else {
+			m.misses.Inc()
+		}
+		return cfg, ok
+	}
+	return s.lookup(features)
+}
+
+func (s *Sharded) lookup(features []float64) (params.SysConfig, bool) {
 	sh := s.nearest(features)
 	if sh == nil {
 		s.misses.Add(1)

@@ -1,0 +1,306 @@
+package metrics
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// buildTestRegistry populates one registry with every instrument kind,
+// including label values that need text-format escaping.
+func buildTestRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("test_a_ops_total", "Plain counter.").Add(7)
+	cv := r.CounterVec("test_b_reqs_total", "Labelled counter.", "tenant", "state")
+	cv.With("acme", "done").Add(3)
+	cv.With("acme", "failed").Inc()
+	cv.With(`we"ird\ten\nant`, "done").Inc()
+	r.Gauge("test_c_depth", "Plain gauge.").Set(4.5)
+	r.GaugeVec("test_d_load", "Labelled gauge.", "host").With("h1").Set(-2)
+	d := r.Distribution("test_e_wait_seconds", "Plain summary.")
+	for i := 1; i <= 50; i++ {
+		d.Observe(float64(i) / 100)
+	}
+	r.DistributionVec("test_f_lat_seconds", "Labelled summary.", "wire").With("binary").Observe(0.25)
+	return r
+}
+
+// lintExposition is a promlint-style validator over the text format:
+// HELP/TYPE ordering, name/label syntax, escaping, sortedness, summary
+// completeness, and sane values. It returns the parsed per-series
+// values so callers can assert monotonicity across scrapes.
+func lintExposition(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	values := map[string]float64{}
+	type familyDecl struct {
+		help, typ bool
+		kind      string
+	}
+	fams := map[string]*familyDecl{}
+	var famOrder []string
+	var lastSeries, lastName string
+	var lastFamily string
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		lineNo := ln + 1
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok {
+				t.Fatalf("line %d: HELP without text: %q", lineNo, line)
+			}
+			if fams[name] != nil {
+				t.Fatalf("line %d: duplicate HELP for %s", lineNo, name)
+			}
+			fams[name] = &familyDecl{help: true}
+			famOrder = append(famOrder, name)
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, kind, ok := strings.Cut(rest, " ")
+			f := fams[name]
+			if !ok || f == nil || !f.help || f.typ {
+				t.Fatalf("line %d: TYPE must follow its HELP exactly once: %q", lineNo, line)
+			}
+			switch kind {
+			case "counter", "gauge", "summary":
+			default:
+				t.Fatalf("line %d: unknown TYPE %q", lineNo, kind)
+			}
+			f.typ = true
+			f.kind = kind
+			lastFamily = name
+			lastSeries = ""
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unexpected comment %q", lineNo, line)
+		}
+
+		// A sample line: name{labels} value
+		name := line
+		if i := strings.IndexByte(line, ' '); i >= 0 {
+			name = line[:i]
+		}
+		labels := ""
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			name = line[:i]
+			j := strings.LastIndexByte(line, '}')
+			if j < i {
+				t.Fatalf("line %d: unterminated label set: %q", lineNo, line)
+			}
+			labels = line[i+1 : j]
+			line = name + line[j+1:]
+		}
+		fields := strings.Fields(line[len(name):])
+		if len(fields) != 1 {
+			t.Fatalf("line %d: want exactly one value, got %q", lineNo, fields)
+		}
+		val, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			t.Fatalf("line %d: bad value %q: %v", lineNo, fields[0], err)
+		}
+
+		base := name
+		f := fams[base]
+		isSum := strings.HasSuffix(name, "_sum")
+		isCount := strings.HasSuffix(name, "_count")
+		if f == nil && isSum {
+			base = strings.TrimSuffix(name, "_sum")
+			f = fams[base]
+		} else if f == nil && isCount {
+			base = strings.TrimSuffix(name, "_count")
+			f = fams[base]
+		}
+		if f == nil || !f.typ {
+			t.Fatalf("line %d: series %s has no preceding HELP/TYPE", lineNo, name)
+		}
+		if base != lastFamily {
+			t.Fatalf("line %d: series %s interleaved outside its family block (%s)", lineNo, name, lastFamily)
+		}
+		hasQuantile := false
+		if labels != "" {
+			for _, pair := range splitLabelPairs(t, lineNo, labels) {
+				k, v, ok := strings.Cut(pair, "=")
+				if !ok || len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+					t.Fatalf("line %d: malformed label pair %q", lineNo, pair)
+				}
+				for _, r := range k {
+					if !(r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9') {
+						t.Fatalf("line %d: bad label name %q", lineNo, k)
+					}
+				}
+				inner := v[1 : len(v)-1]
+				for i := 0; i < len(inner); i++ {
+					switch inner[i] {
+					case '"', '\n':
+						t.Fatalf("line %d: unescaped %q in label value %q", lineNo, inner[i], inner)
+					case '\\':
+						if i+1 >= len(inner) || (inner[i+1] != '\\' && inner[i+1] != '"' && inner[i+1] != 'n') {
+							t.Fatalf("line %d: dangling escape in label value %q", lineNo, inner)
+						}
+						i++
+					}
+				}
+				if k == "quantile" {
+					hasQuantile = true
+				}
+			}
+		}
+		switch f.kind {
+		case "counter":
+			if !strings.HasSuffix(base, "_total") {
+				t.Errorf("line %d: counter family %s should end in _total", lineNo, base)
+			}
+			if val < 0 || val != float64(uint64(val)) {
+				t.Errorf("line %d: counter value %v not a non-negative integer", lineNo, val)
+			}
+		case "summary":
+			if !isSum && !isCount && !hasQuantile {
+				t.Errorf("line %d: summary series %s lacks a quantile label", lineNo, name)
+			}
+			if isCount && (val < 0 || val != float64(uint64(val))) {
+				t.Errorf("line %d: summary _count %v not a non-negative integer", lineNo, val)
+			}
+		}
+		key := name + "{" + labels + "}"
+		if _, dup := values[key]; dup {
+			t.Fatalf("line %d: duplicate series %s", lineNo, key)
+		}
+		values[key] = val
+		// Series within one family come out sorted by label values (the
+		// summary expansion interleaves names, so compare full keys only
+		// between samples of the same name).
+		if name == lastName && key < lastSeries {
+			t.Errorf("line %d: series %s out of order after %s", lineNo, key, lastSeries)
+		}
+		lastName, lastSeries = name, key
+	}
+	for name, f := range fams {
+		if !f.typ {
+			t.Errorf("family %s has HELP but no TYPE", name)
+		}
+	}
+	if !sort.StringsAreSorted(famOrder) {
+		t.Errorf("families not sorted: %v", famOrder)
+	}
+	return values
+}
+
+// splitLabelPairs splits k1="v1",k2="v2" respecting escaped quotes.
+func splitLabelPairs(t *testing.T, line int, s string) []string {
+	t.Helper()
+	var out []string
+	start, inQ := 0, false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inQ {
+				i++
+			}
+		case '"':
+			inQ = !inQ
+		case ',':
+			if !inQ {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if inQ {
+		t.Fatalf("line %d: unterminated quote in labels %q", line, s)
+	}
+	return append(out, s[start:])
+}
+
+func TestPrometheusExpositionLint(t *testing.T) {
+	r := buildTestRegistry()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	first := lintExposition(t, sb.String())
+	if len(first) == 0 {
+		t.Fatal("empty exposition")
+	}
+
+	// Counters must be monotonic between scrapes.
+	r.Counter("test_a_ops_total", "Plain counter.").Inc()
+	r.CounterVec("test_b_reqs_total", "Labelled counter.", "tenant", "state").With("acme", "done").Add(2)
+	sb.Reset()
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	second := lintExposition(t, sb.String())
+	for series, v1 := range first {
+		if !strings.Contains(series, "_total") {
+			continue
+		}
+		if v2, ok := second[series]; !ok || v2 < v1 {
+			t.Errorf("counter %s went backwards: %v -> %v (present=%v)", series, v1, v2, ok)
+		}
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	r := buildTestRegistry()
+	rec := httptest.NewRecorder()
+	Handler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "# TYPE test_a_ops_total counter") {
+		t.Fatalf("body missing TYPE line:\n%s", rec.Body.String())
+	}
+	lintExposition(t, rec.Body.String())
+}
+
+func TestSnapshotTyped(t *testing.T) {
+	r := buildTestRegistry()
+	snap := r.Snapshot()
+	byName := map[string]Family{}
+	for _, f := range snap.Families {
+		byName[f.Name] = f
+	}
+	if f := byName["test_b_reqs_total"]; f.Kind != "counter" || len(f.Samples) != 3 {
+		t.Fatalf("test_b_reqs_total: kind=%s samples=%d", f.Kind, len(f.Samples))
+	}
+	f, ok := byName["test_e_wait_seconds"]
+	if !ok || f.Kind != "summary" {
+		t.Fatalf("missing summary family")
+	}
+	s := f.Samples[0]
+	if s.Count != 50 || s.Min != 0.01 || s.Max != 0.5 {
+		t.Fatalf("summary sample = %+v", s)
+	}
+	if _, ok := s.Quantiles["0.95"]; !ok {
+		t.Fatalf("missing p95 in %v", s.Quantiles)
+	}
+	// The escaped-label series must round-trip as the raw (unescaped)
+	// label value in the typed form.
+	found := false
+	for _, s := range byName["test_b_reqs_total"].Samples {
+		if s.Labels["tenant"] == `we"ird\ten\nant` {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("typed snapshot lost the raw label value")
+	}
+}
+
+func ExampleRegistry_WritePrometheus() {
+	r := NewRegistry()
+	r.Counter("example_jobs_total", "Jobs.").Add(2)
+	var sb strings.Builder
+	_ = r.WritePrometheus(&sb)
+	fmt.Print(sb.String())
+	// Output:
+	// # HELP example_jobs_total Jobs.
+	// # TYPE example_jobs_total counter
+	// example_jobs_total 2
+}

@@ -1,0 +1,121 @@
+package metrics
+
+import (
+	"strconv"
+	"time"
+
+	"pipetune/internal/tsdb"
+)
+
+// Mirror periodically writes the registry's aggregated series into a
+// tsdb.DB, so range queries and the JSON persistence path work over
+// operational telemetry exactly as they do over trial telemetry.
+//
+// Each family becomes one measurement (the family name); labels become
+// tags; counters and gauges write a single "value" field, and
+// distributions write count/sum/min/max plus p50/p95/p99 fields. Every
+// tick writes the current aggregate, so the stored series is a
+// step-sampled view of the live registry.
+type Mirror struct {
+	Registry *Registry
+	DB       *tsdb.DB
+	// Interval is the sampling cadence (default 10s).
+	Interval time.Duration
+	// MaxPoints bounds retained points per series; older points are
+	// trimmed past it (default 4096, ~11h at the default cadence).
+	// Zero keeps the default; negative disables trimming.
+	MaxPoints int
+	// Now overrides the timestamp source (tests).
+	Now func() time.Time
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+const (
+	defaultMirrorInterval  = 10 * time.Second
+	defaultMirrorMaxPoints = 4096
+)
+
+// Start launches the sampling loop. Stop must be called to end it.
+func (m *Mirror) Start() {
+	if m.Interval <= 0 {
+		m.Interval = defaultMirrorInterval
+	}
+	if m.MaxPoints == 0 {
+		m.MaxPoints = defaultMirrorMaxPoints
+	}
+	if m.Now == nil {
+		m.Now = time.Now
+	}
+	m.stop = make(chan struct{})
+	m.done = make(chan struct{})
+	go func() {
+		defer close(m.done)
+		t := time.NewTicker(m.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-t.C:
+				m.Sample()
+			}
+		}
+	}()
+}
+
+// Stop ends the loop after writing one final sample, so the persisted
+// database reflects the registry at shutdown.
+func (m *Mirror) Stop() {
+	if m.stop == nil {
+		return
+	}
+	close(m.stop)
+	<-m.done
+	m.Sample()
+}
+
+// Sample writes one snapshot of every series into the database.
+func (m *Mirror) Sample() {
+	if m.Registry == nil || m.DB == nil {
+		return
+	}
+	now := time.Now
+	if m.Now != nil {
+		now = m.Now
+	}
+	ts := float64(now().UnixNano()) / 1e9
+	snap := m.Registry.Snapshot()
+	for _, fam := range snap.Families {
+		for _, s := range fam.Samples {
+			fields := make(map[string]float64, 8)
+			switch fam.Kind {
+			case "summary":
+				fields["count"] = float64(s.Count)
+				fields["sum"] = s.Sum
+				fields["min"] = s.Min
+				fields["max"] = s.Max
+				for q, v := range s.Quantiles {
+					fields["p"+quantileSuffix(q)] = v
+				}
+			default:
+				fields["value"] = s.Value
+			}
+			m.DB.Write(fam.Name, tsdb.Point{Time: ts, Tags: s.Labels, Fields: fields})
+			if m.MaxPoints > 0 {
+				m.DB.Trim(fam.Name, m.MaxPoints)
+			}
+		}
+	}
+}
+
+// quantileSuffix turns "0.5" into "50", "0.95" into "95", "0.99" into
+// "99" for field naming.
+func quantileSuffix(q string) string {
+	f, err := strconv.ParseFloat(q, 64)
+	if err != nil {
+		return q
+	}
+	return strconv.Itoa(int(f*100 + 0.5))
+}

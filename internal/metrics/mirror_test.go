@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+
+	"pipetune/internal/tsdb"
+)
+
+func TestMirrorSample(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("test_ops_total", "ops", "tenant").With("acme").Add(5)
+	d := r.Distribution("test_wait_seconds", "wait")
+	for i := 1; i <= 10; i++ {
+		d.Observe(float64(i))
+	}
+	db := tsdb.New()
+	now := time.Unix(100, 0)
+	m := &Mirror{Registry: r, DB: db, Now: func() time.Time { return now }}
+	m.Sample()
+
+	pts := db.Select("test_ops_total", tsdb.Query{To: -1})
+	if len(pts) != 1 {
+		t.Fatalf("counter points = %d, want 1", len(pts))
+	}
+	if pts[0].Fields["value"] != 5 || pts[0].Tags["tenant"] != "acme" {
+		t.Fatalf("counter point = %+v", pts[0])
+	}
+	if pts[0].Time != 100 {
+		t.Fatalf("timestamp = %v, want 100", pts[0].Time)
+	}
+
+	wp := db.Select("test_wait_seconds", tsdb.Query{To: -1})
+	if len(wp) != 1 {
+		t.Fatalf("summary points = %d, want 1", len(wp))
+	}
+	f := wp[0].Fields
+	if f["count"] != 10 || f["sum"] != 55 || f["min"] != 1 || f["max"] != 10 {
+		t.Fatalf("summary fields = %v", f)
+	}
+	for _, k := range []string{"p50", "p95", "p99"} {
+		if _, ok := f[k]; !ok {
+			t.Fatalf("summary fields missing %s: %v", k, f)
+		}
+	}
+
+	// Consecutive samples append; MaxPoints trims to a window.
+	m.MaxPoints = 3
+	for i := 0; i < 5; i++ {
+		now = now.Add(time.Second)
+		m.Sample()
+	}
+	if n := db.Len("test_ops_total"); n != 3 {
+		t.Fatalf("after trim Len = %d, want 3", n)
+	}
+}
+
+func TestMirrorStartStop(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_ticks_total", "x").Inc()
+	db := tsdb.New()
+	m := &Mirror{Registry: r, DB: db, Interval: time.Millisecond}
+	m.Start()
+	deadline := time.After(2 * time.Second)
+	for db.Len("test_ticks_total") == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("mirror never sampled")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	m.Stop()
+	n := db.Len("test_ticks_total")
+	if n == 0 {
+		t.Fatal("no points after Stop")
+	}
+	time.Sleep(5 * time.Millisecond)
+	if db.Len("test_ticks_total") != n {
+		t.Fatal("mirror kept sampling after Stop")
+	}
+}

@@ -1,0 +1,332 @@
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Distribution state: a fixed log-spaced bucket sketch. Bucket bounds
+// are quarter-powers of two — bucket i covers
+// (2^(minExp+i/4), 2^(minExp+(i+1)/4)] — spanning 2^-30 (~1ns, as
+// seconds) through 2^14 (~4.5h). Values below the range land in the
+// first bucket, values above in the last. Quantiles report a bucket's
+// geometric midpoint, so the relative error is bounded by half a
+// bucket width: 2^(1/8)-1 ≈ 9%. Counts are mergeable across processes
+// by bucket-wise addition, which is how worker-shipped sketches fold
+// into the daemon's registry.
+const (
+	sketchMinExp  = -30
+	sketchOctaves = 44
+	sketchBuckets = sketchOctaves * 4 // 176
+)
+
+// sketchBounds[i] is the inclusive upper bound of bucket i.
+var sketchBounds = func() [sketchBuckets]float64 {
+	var b [sketchBuckets]float64
+	for i := range b {
+		b[i] = math.Pow(2, float64(sketchMinExp)+float64(i+1)/4)
+	}
+	return b
+}()
+
+// bucketIndex maps a value to its sketch bucket without calling Log:
+// Frexp yields the octave, and two float compares locate the quarter
+// within it.
+func bucketIndex(v float64) int {
+	if !(v > 0) { // zero, negative, NaN
+		return 0
+	}
+	frac, exp := math.Frexp(v) // v = frac * 2^exp, frac in [0.5, 1)
+	// Quarter boundaries within the octave: 0.5*2^(q/4).
+	var q int
+	switch {
+	case frac <= 0.5946035575013605: // 0.5 * 2^(1/4)
+		q = 0
+	case frac <= 0.7071067811865476: // 0.5 * 2^(2/4)
+		q = 1
+	case frac <= 0.8409152093229160: // 0.5 * 2^(3/4)
+		q = 2
+	default:
+		q = 3
+	}
+	// frac*2^exp means the value sits in octave exp-1 (e.g. v=1.0 is
+	// frac=0.5, exp=1, and belongs in the bucket bounded by 2^0).
+	idx := (exp-1-sketchMinExp)*4 + q
+	if idx < 0 {
+		return 0
+	}
+	if idx >= sketchBuckets {
+		return sketchBuckets - 1
+	}
+	return idx
+}
+
+// distStripe is one writer stripe: bucket counts plus running
+// count/sum. Stripes are merged at read time.
+type distStripe struct {
+	counts [sketchBuckets]atomic.Uint64
+	count  atomic.Uint64
+	sumBit atomic.Uint64
+}
+
+func (s *distStripe) addSum(v float64) {
+	for {
+		old := s.sumBit.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if s.sumBit.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Distribution records observations into the sketch. Observe is
+// lock-free and allocation-free; Quantile/Sum/Count/Max merge the
+// stripes without blocking writers. Nil-safe like Counter.
+type Distribution struct {
+	stripes [nstripes]distStripe
+	// minBit/maxBit track exact observed extremes (the sketch alone
+	// would quantise them); maxInit latches whether any observation
+	// happened so Min of an empty distribution reads 0.
+	minBit  atomic.Uint64
+	maxBit  atomic.Uint64
+	nonzero atomic.Bool
+}
+
+// NewDistribution returns a standalone distribution, used both by
+// registry families and by worker-local collectors that ship their
+// sketches over the wire rather than exposing them.
+func NewDistribution() *Distribution {
+	d := &Distribution{}
+	d.minBit.Store(math.Float64bits(math.Inf(1)))
+	d.maxBit.Store(math.Float64bits(math.Inf(-1)))
+	return d
+}
+
+// Observe records one value.
+func (d *Distribution) Observe(v float64) {
+	if d == nil {
+		return
+	}
+	s := &d.stripes[stripe()]
+	s.counts[bucketIndex(v)].Add(1)
+	s.count.Add(1)
+	s.addSum(v)
+	d.nonzero.Store(true)
+	for {
+		old := d.minBit.Load()
+		if v >= math.Float64frombits(old) || d.minBit.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+	for {
+		old := d.maxBit.Load()
+		if v <= math.Float64frombits(old) || d.maxBit.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (d *Distribution) Count() uint64 {
+	if d == nil {
+		return 0
+	}
+	var n uint64
+	for i := range d.stripes {
+		n += d.stripes[i].count.Load()
+	}
+	return n
+}
+
+// Sum returns the sum of observed values.
+func (d *Distribution) Sum() float64 {
+	if d == nil {
+		return 0
+	}
+	var s float64
+	for i := range d.stripes {
+		s += math.Float64frombits(d.stripes[i].sumBit.Load())
+	}
+	return s
+}
+
+// Min returns the smallest observed value (0 when empty).
+func (d *Distribution) Min() float64 {
+	if d == nil || !d.nonzero.Load() {
+		return 0
+	}
+	return math.Float64frombits(d.minBit.Load())
+}
+
+// Max returns the largest observed value (0 when empty).
+func (d *Distribution) Max() float64 {
+	if d == nil || !d.nonzero.Load() {
+		return 0
+	}
+	return math.Float64frombits(d.maxBit.Load())
+}
+
+// buckets merges the stripes into one count array, returning the
+// total.
+func (d *Distribution) buckets() (merged [sketchBuckets]uint64, total uint64) {
+	for i := range d.stripes {
+		s := &d.stripes[i]
+		for b := range s.counts {
+			if n := s.counts[b].Load(); n != 0 {
+				merged[b] += n
+				total += n
+			}
+		}
+	}
+	return merged, total
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) from the sketch,
+// clamped to the observed min/max. Returns 0 for an empty
+// distribution.
+func (d *Distribution) Quantile(q float64) float64 {
+	if d == nil {
+		return 0
+	}
+	merged, total := d.buckets()
+	if total == 0 {
+		return 0
+	}
+	return quantileFromBuckets(merged[:], total, q, d.Min(), d.Max())
+}
+
+// quantileFromBuckets walks merged bucket counts to the target rank
+// and reports the bucket's geometric midpoint, clamped to [min, max].
+func quantileFromBuckets(counts []uint64, total uint64, q float64, min, max float64) float64 {
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum uint64
+	for i, n := range counts {
+		cum += n
+		if cum >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = sketchBounds[i-1]
+			}
+			hi := sketchBounds[i]
+			v := math.Sqrt(lo * hi)
+			if lo == 0 {
+				v = hi / 2
+			}
+			if v < min {
+				v = min
+			}
+			if v > max {
+				v = max
+			}
+			return v
+		}
+	}
+	return max
+}
+
+// BucketCount is one non-empty sketch bucket in a snapshot, keyed by
+// bucket index. The wire carries only occupied buckets — sketches in
+// practice touch a handful of octaves.
+type BucketCount struct {
+	Index int    `json:"i"`
+	Count uint64 `json:"n"`
+}
+
+// DistSnapshot is a point-in-time copy of a distribution, the unit of
+// cross-process merging: workers ship cumulative snapshots inside
+// heartbeats, the daemon diffs consecutive snapshots and merges the
+// delta into its own registry.
+type DistSnapshot struct {
+	Count   uint64        `json:"count"`
+	Sum     float64       `json:"sum"`
+	Min     float64       `json:"min,omitempty"`
+	Max     float64       `json:"max,omitempty"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Snapshot captures the distribution's current state.
+func (d *Distribution) Snapshot() DistSnapshot {
+	if d == nil {
+		return DistSnapshot{}
+	}
+	merged, total := d.buckets()
+	snap := DistSnapshot{Count: total, Sum: d.Sum(), Min: d.Min(), Max: d.Max()}
+	for i, n := range merged {
+		if n != 0 {
+			snap.Buckets = append(snap.Buckets, BucketCount{Index: i, Count: n})
+		}
+	}
+	return snap
+}
+
+// Quantile estimates the q-quantile of a snapshot (used for
+// snapshots merged or shipped independently of a live Distribution).
+func (s DistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	var counts [sketchBuckets]uint64
+	for _, b := range s.Buckets {
+		if b.Index >= 0 && b.Index < sketchBuckets {
+			counts[b.Index] += b.Count
+		}
+	}
+	return quantileFromBuckets(counts[:], s.Count, q, s.Min, s.Max)
+}
+
+// Delta returns the per-bucket difference cur - prev, clamped at zero
+// bucket-wise, for folding a worker's cumulative snapshot stream into
+// daemon counters. Snapshots from one worker registration are ordered
+// and monotone, so the clamp only matters on a malformed stream.
+func (s DistSnapshot) Delta(prev DistSnapshot) DistSnapshot {
+	prevCounts := make(map[int]uint64, len(prev.Buckets))
+	for _, b := range prev.Buckets {
+		prevCounts[b.Index] = b.Count
+	}
+	d := DistSnapshot{Min: s.Min, Max: s.Max}
+	if s.Sum > prev.Sum {
+		d.Sum = s.Sum - prev.Sum
+	}
+	for _, b := range s.Buckets {
+		if n := b.Count - prevCounts[b.Index]; n > 0 && b.Count > prevCounts[b.Index] {
+			d.Buckets = append(d.Buckets, BucketCount{Index: b.Index, Count: n})
+			d.Count += n
+		}
+	}
+	return d
+}
+
+// Merge folds a snapshot (typically a delta) into the distribution.
+// Counts land in stripe 0; min/max widen to cover the snapshot's.
+func (d *Distribution) Merge(s DistSnapshot) {
+	if d == nil || s.Count == 0 {
+		return
+	}
+	st := &d.stripes[0]
+	for _, b := range s.Buckets {
+		if b.Index >= 0 && b.Index < sketchBuckets {
+			st.counts[b.Index].Add(b.Count)
+		}
+	}
+	st.count.Add(s.Count)
+	st.addSum(s.Sum)
+	d.nonzero.Store(true)
+	for {
+		old := d.minBit.Load()
+		if s.Min >= math.Float64frombits(old) || d.minBit.CompareAndSwap(old, math.Float64bits(s.Min)) {
+			break
+		}
+	}
+	for {
+		old := d.maxBit.Load()
+		if s.Max <= math.Float64frombits(old) || d.maxBit.CompareAndSwap(old, math.Float64bits(s.Max)) {
+			break
+		}
+	}
+}

@@ -94,3 +94,49 @@ func BenchmarkServiceThroughput(b *testing.B) {
 		b.ReportMetric(p99, "p99-poll-ms")
 	}
 }
+
+// benchDispatch measures the pure dispatch path — Submit through
+// terminal state over a shared System, no HTTP — with the metrics plane
+// on or off, so the two benchmarks bracket the instrumentation
+// overhead (CI's bench-smoke runs both; the acceptance budget for the
+// delta is <2% on jobs/sec).
+func benchDispatch(b *testing.B, disable bool) {
+	sys, err := pipetune.New(pipetune.WithSeed(42), pipetune.WithCorpusSize(64, 32))
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc, err := New(Config{System: sys, Workers: 4, QueueDepth: 4096, DisableMetrics: disable})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Shutdown()
+	req := api.JobRequest{Workload: "lenet/mnist", Epochs: 1, Seed: 5}
+
+	b.ResetTimer()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < b.N; i++ {
+		st, err := svc.Submit(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			su, err := svc.Subscribe(id)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			defer su.Cancel()
+			for range su.Events {
+			}
+		}(st.ID)
+	}
+	wg.Wait()
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "jobs/sec")
+}
+
+func BenchmarkInstrumentedDispatch(b *testing.B)   { benchDispatch(b, false) }
+func BenchmarkUninstrumentedDispatch(b *testing.B) { benchDispatch(b, true) }

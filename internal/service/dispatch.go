@@ -7,18 +7,8 @@ import (
 
 	"pipetune/api"
 	"pipetune/internal/admission"
+	"pipetune/internal/metrics"
 )
-
-// tenantStats is one tenant's lifetime accounting: live queue depths plus
-// wait-time statistics over its dispatched jobs. Guarded by Service.mu.
-type tenantStats struct {
-	queued     int
-	running    int
-	finished   int
-	dispatched int
-	waitSum    time.Duration
-	waitMax    time.Duration
-}
 
 // dispatcher replaces the legacy FIFO `chan *job` worker pipeline: a
 // tenant-aware admission queue (internal/admission) plus a condition
@@ -27,14 +17,26 @@ type tenantStats struct {
 // cond is bound to; a single critical section therefore spans the
 // capacity check, the job-ID allocation and the enqueue, closing the
 // ID-burn and lost-wakeup races a separate lock would reopen.
+//
+// Per-tenant accounting lives in the metrics registry, not in a parallel
+// set of ints: the dispatcher caches one tenantMetrics row per tenant
+// label (bounded by tenantSeriesCap, overflow shared) and both /metrics
+// and /healthz read those same instruments — the two surfaces cannot
+// disagree.
 type dispatcher struct {
-	q     *admission.Queue
-	cond  *sync.Cond
-	stats map[string]*tenantStats
+	q    *admission.Queue
+	cond *sync.Cond
+	met  *svcMetrics
+
+	// byTenant maps every raw tenant name ever seen to its row; rows maps
+	// the bounded set of label values (real tenants up to the cap, plus
+	// the shared overflow row) that actually exist as series.
+	byTenant map[string]*tenantMetrics
+	rows     map[string]*tenantMetrics
 }
 
 // newDispatcher validates the job policy and tenant weights from cfg.
-func newDispatcher(mu *sync.Mutex, cfg Config) (*dispatcher, error) {
+func newDispatcher(mu *sync.Mutex, cfg Config, met *svcMetrics) (*dispatcher, error) {
 	q, err := admission.New(admission.Config{
 		Policy:   admission.Policy(cfg.JobPolicy),
 		Weights:  cfg.TenantWeights,
@@ -44,20 +46,32 @@ func newDispatcher(mu *sync.Mutex, cfg Config) (*dispatcher, error) {
 		return nil, err
 	}
 	return &dispatcher{
-		q:     q,
-		cond:  sync.NewCond(mu),
-		stats: make(map[string]*tenantStats),
+		q:        q,
+		cond:     sync.NewCond(mu),
+		met:      met,
+		byTenant: make(map[string]*tenantMetrics),
+		rows:     make(map[string]*tenantMetrics),
 	}, nil
 }
 
-// tenant returns (creating on first use) a tenant's stats record.
-func (d *dispatcher) tenant(name string) *tenantStats {
-	ts := d.stats[name]
-	if ts == nil {
-		ts = &tenantStats{}
-		d.stats[name] = ts
+// tenant returns (resolving on first use) a tenant's instrument row.
+// Past tenantSeriesCap distinct tenants, new ones share the overflow
+// row — the documented cardinality budget.
+func (d *dispatcher) tenant(name string) *tenantMetrics {
+	if tm, ok := d.byTenant[name]; ok {
+		return tm
 	}
-	return ts
+	label := name
+	if len(d.rows) >= tenantSeriesCap {
+		label = metrics.OverflowLabel
+	}
+	tm, ok := d.rows[label]
+	if !ok {
+		tm = d.met.tenantRow(label, string(d.q.Policy()))
+		d.rows[label] = tm
+	}
+	d.byTenant[name] = tm
+	return tm
 }
 
 // pushLocked admits a job into the queue and wakes one worker. The caller
@@ -72,7 +86,9 @@ func (d *dispatcher) pushLocked(jb *job) error {
 	if err != nil {
 		return err
 	}
-	d.tenant(jb.tenant).queued++
+	tm := d.tenant(jb.tenant)
+	tm.submitted.Inc()
+	tm.queued.Add(1)
 	d.cond.Signal()
 	return nil
 }
@@ -80,50 +96,65 @@ func (d *dispatcher) pushLocked(jb *job) error {
 // onDispatchLocked records a queued->running transition and the job's
 // queue wait.
 func (d *dispatcher) onDispatchLocked(tenant string, wait time.Duration) {
-	ts := d.tenant(tenant)
-	ts.queued--
-	ts.running++
-	ts.dispatched++
-	ts.waitSum += wait
-	if wait > ts.waitMax {
-		ts.waitMax = wait
-	}
+	tm := d.tenant(tenant)
+	tm.queued.Add(-1)
+	tm.running.Add(1)
+	tm.wait.Observe(wait.Seconds())
 }
 
-// onFinishLocked records a transition into a terminal state from prev.
-func (d *dispatcher) onFinishLocked(tenant string, prev api.JobState) {
-	ts := d.tenant(tenant)
+// onFinishLocked records a transition from prev into the terminal state
+// next.
+func (d *dispatcher) onFinishLocked(tenant string, prev, next api.JobState) {
+	tm := d.tenant(tenant)
 	switch prev {
 	case api.StateQueued:
-		ts.queued--
+		tm.queued.Add(-1)
 	case api.StateRunning:
-		ts.running--
+		tm.running.Add(-1)
 	}
-	ts.finished++
+	switch next {
+	case api.StateDone:
+		tm.done.Inc()
+	case api.StateFailed:
+		tm.failed.Inc()
+	default:
+		tm.cancelled.Inc()
+	}
 }
 
-// healthLocked renders the per-tenant Health rows, sorted by tenant name.
+// healthLocked renders the per-tenant Health rows, sorted by tenant
+// label, straight from the registry instruments.
 func (d *dispatcher) healthLocked() []api.TenantHealth {
-	names := make([]string, 0, len(d.stats))
-	for name := range d.stats {
-		names = append(names, name)
+	labels := make([]string, 0, len(d.rows))
+	for label := range d.rows {
+		labels = append(labels, label)
 	}
-	sort.Strings(names)
-	out := make([]api.TenantHealth, 0, len(names))
-	for _, name := range names {
-		ts := d.stats[name]
+	sort.Strings(labels)
+	out := make([]api.TenantHealth, 0, len(labels))
+	for _, label := range labels {
+		tm := d.rows[label]
 		th := api.TenantHealth{
-			Tenant:         name,
-			Weight:         d.q.Weight(name),
-			Queued:         ts.queued,
-			Running:        ts.running,
-			Finished:       ts.finished,
-			MaxWaitSeconds: ts.waitMax.Seconds(),
+			Tenant:   label,
+			Weight:   d.q.Weight(label),
+			Queued:   int(tm.queued.Value()),
+			Running:  int(tm.running.Value()),
+			Finished: int(tm.done.Value() + tm.failed.Value() + tm.cancelled.Value()),
 		}
-		if ts.dispatched > 0 {
-			th.MeanWaitSeconds = ts.waitSum.Seconds() / float64(ts.dispatched)
+		if n := tm.wait.Count(); n > 0 {
+			th.MeanWaitSeconds = tm.wait.Sum() / float64(n)
+			th.MaxWaitSeconds = tm.wait.Max()
 		}
 		out = append(out, th)
 	}
 	return out
+}
+
+// countsLocked sums the live queue-depth and running gauges across
+// tenant rows — the health endpoint's headline numbers.
+func (d *dispatcher) countsLocked() (queued, running int) {
+	for _, tm := range d.rows {
+		queued += int(tm.queued.Value())
+		running += int(tm.running.Value())
+	}
+	return queued, running
 }

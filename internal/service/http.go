@@ -9,6 +9,7 @@ import (
 	"strconv"
 
 	"pipetune/api"
+	"pipetune/internal/metrics"
 )
 
 // Handler returns the daemon's HTTP API (see package api for the
@@ -26,6 +27,12 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/groundtruth/export", s.handleGroundTruthExport)
 	mux.HandleFunc("POST /v1/groundtruth/import", s.handleGroundTruthImport)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	if !s.cfg.DisableMetrics {
+		// Prometheus text exposition plus the same registry as typed JSON
+		// (the api.MetricsSnapshot surface behind client.Metrics).
+		mux.Handle("GET /metrics", metrics.Handler(s.cfg.Metrics))
+		mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	}
 	if s.cfg.Remote != nil {
 		wh := s.cfg.Remote.Handler()
 		mux.Handle("/v1/workers", wh)
@@ -199,4 +206,8 @@ func (s *Service) handleGroundTruthImport(w http.ResponseWriter, r *http.Request
 
 func (s *Service) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.Health())
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.cfg.Metrics.Snapshot())
 }

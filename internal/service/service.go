@@ -35,7 +35,9 @@ import (
 	"pipetune/api"
 	"pipetune/internal/exec"
 	"pipetune/internal/gt"
+	"pipetune/internal/metrics"
 	"pipetune/internal/trainer"
+	"pipetune/internal/tsdb"
 	"pipetune/internal/tune"
 )
 
@@ -97,6 +99,24 @@ type Config struct {
 	// leases still outstanding at the deadline fail their jobs rather
 	// than vanish (default 10s). Ignored on the local backend.
 	DrainTimeout time.Duration
+	// Metrics is the registry every layer publishes into. Nil adopts the
+	// Remote's registry when one is configured (so execution-plane series
+	// land on the same /metrics page) and otherwise creates a private
+	// one. Ignored when DisableMetrics is set.
+	Metrics *metrics.Registry
+	// MetricsDB, when non-nil, receives a periodic mirror of every
+	// registry series as tsdb points (measurement = family name, tags =
+	// labels) every MetricsMirrorInterval (default 10s). The DB stays
+	// caller-owned: the service only writes and trims it.
+	MetricsDB *tsdb.DB
+	// MetricsMirrorInterval is the mirror cadence (default 10s).
+	MetricsMirrorInterval time.Duration
+	// DisableMetrics turns the observability plane off: no instruments
+	// register, hot paths run their nil-receiver no-op branches, and the
+	// /metrics endpoints are not mounted. /healthz then reports zero
+	// queue/tenant statistics — health is derived from the registry, not
+	// from a parallel set of counters.
+	DisableMetrics bool
 	// Logf receives operational log lines (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -135,19 +155,20 @@ type Service struct {
 	cfg      Config
 	gt       gt.Store       // the store every job reads and feeds
 	persist  *gt.Persistent // non-nil when GTPath is set; == gt then
+	met      *svcMetrics    // nil-handle instruments when metrics are disabled
+	mirror   *metrics.Mirror
 	wg       sync.WaitGroup
 	baseCtx  context.Context
 	stop     context.CancelFunc
 	shutdown sync.Once
 
-	mu      sync.Mutex
-	disp    *dispatcher // tenant-aware job queue; all methods under mu
-	jobs    map[string]*job
-	order   []string // submission order, for stable listing
-	nextID  int
-	running int
-	paused  bool
-	closed  bool
+	mu     sync.Mutex
+	disp   *dispatcher // tenant-aware job queue; all methods under mu
+	jobs   map[string]*job
+	order  []string // submission order, for stable listing
+	nextID int
+	paused bool
+	closed bool
 }
 
 // Pause holds dispatch: submissions are still accepted and queued, but no
@@ -195,6 +216,20 @@ func New(cfg Config) (*Service, error) {
 	if cfg.DrainTimeout <= 0 {
 		cfg.DrainTimeout = 10 * time.Second
 	}
+	if cfg.MetricsMirrorInterval <= 0 {
+		cfg.MetricsMirrorInterval = 10 * time.Second
+	}
+	if cfg.DisableMetrics {
+		cfg.Metrics = nil
+	} else if cfg.Metrics == nil {
+		if cfg.Remote != nil {
+			// Share the execution plane's registry so fleet series and
+			// service series land on one /metrics page.
+			cfg.Metrics = cfg.Remote.MetricsRegistry()
+		} else {
+			cfg.Metrics = metrics.NewRegistry()
+		}
+	}
 	if cfg.Remote != nil {
 		// Every job's trial bodies now compute on the worker fleet; the
 		// searcher, scheduler and ground-truth middleware stay in-process.
@@ -203,9 +238,10 @@ func New(cfg Config) (*Service, error) {
 	s := &Service{
 		cfg:  cfg,
 		gt:   cfg.System.GroundTruth(),
+		met:  newSvcMetrics(cfg.Metrics),
 		jobs: make(map[string]*job),
 	}
-	disp, err := newDispatcher(&s.mu, cfg)
+	disp, err := newDispatcher(&s.mu, cfg, s.met)
 	if err != nil {
 		return nil, err
 	}
@@ -230,6 +266,17 @@ func New(cfg Config) (*Service, error) {
 		if cfg.SnapshotInterval > 0 {
 			s.wg.Add(1)
 			go s.snapshotLoop(cfg.SnapshotInterval)
+		}
+	}
+	if cfg.Metrics != nil {
+		// The ground-truth store (and, through the persistent wrapper, its
+		// WAL) publishes into the same registry.
+		if in, ok := s.gt.(gt.Instrumentable); ok {
+			in.InstrumentMetrics(cfg.Metrics)
+		}
+		if cfg.MetricsDB != nil {
+			s.mirror = &metrics.Mirror{Registry: cfg.Metrics, DB: cfg.MetricsDB, Interval: cfg.MetricsMirrorInterval}
+			s.mirror.Start()
 		}
 	}
 	for i := 0; i < cfg.Workers; i++ {
@@ -329,6 +376,7 @@ func (s *Service) Submit(req api.JobRequest) (api.JobStatus, error) {
 	// rejection must not burn a job-%06d sequence number, or the accepted
 	// sequence would grow gaps under load spikes.
 	if s.disp.q.Full() {
+		s.met.rejected.Inc()
 		s.mu.Unlock()
 		return api.JobStatus{}, ErrQueueFull
 	}
@@ -389,7 +437,6 @@ func (s *Service) runJob(jb *job) {
 	jb.state = api.StateRunning
 	jb.started = time.Now().UTC()
 	jb.cancel = cancel
-	s.running++
 	s.disp.onDispatchLocked(jb.tenant, jb.started.Sub(jb.submitted))
 	spec := jb.spec
 	s.mu.Unlock()
@@ -414,7 +461,6 @@ func (s *Service) runJob(jb *job) {
 
 	s.mu.Lock()
 	jb.cancel = nil
-	s.running--
 	switch {
 	case err == nil:
 		jb.result = res
@@ -459,6 +505,7 @@ func (s *Service) publishTrial(jb *job, trialID int, res *trainer.Result) {
 	}
 	s.mu.Lock()
 	jb.trials++
+	s.met.trials.Inc()
 	s.appendEventLocked(jb, ev)
 	s.mu.Unlock()
 }
@@ -473,7 +520,7 @@ func (s *Service) finishLocked(jb *job, state api.JobState, errMsg string) {
 		// state check is only a backstop for the pop-vs-cancel race).
 		s.disp.q.Remove(jb.id)
 	}
-	s.disp.onFinishLocked(jb.tenant, jb.state)
+	s.disp.onFinishLocked(jb.tenant, jb.state, state)
 	jb.state = state
 	jb.errMsg = errMsg
 	jb.finished = time.Now().UTC()
@@ -481,6 +528,7 @@ func (s *Service) finishLocked(jb *job, state api.JobState, errMsg string) {
 	for sub := range jb.subs {
 		close(sub.ch)
 		delete(jb.subs, sub)
+		s.met.sseSubs.Add(-1)
 	}
 	s.pruneLocked()
 }
@@ -494,6 +542,7 @@ func (s *Service) finishLocked(jb *job, state api.JobState, errMsg string) {
 func (s *Service) appendEventLocked(jb *job, ev api.Event) {
 	ev.Seq = len(jb.events) + 1
 	jb.events = append(jb.events, ev)
+	s.met.sseEvents.Inc()
 	for sub := range jb.subs {
 		select {
 		case sub.ch <- ev:
@@ -501,6 +550,8 @@ func (s *Service) appendEventLocked(jb *job, ev api.Event) {
 			sub.lagged = true
 			close(sub.ch)
 			delete(jb.subs, sub)
+			s.met.sseLagged.Inc()
+			s.met.sseSubs.Add(-1)
 		}
 	}
 }
@@ -550,6 +601,7 @@ func (su *Subscription) Cancel() {
 	if _, live := su.jb.subs[su.sub]; live {
 		close(su.sub.ch)
 		delete(su.jb.subs, su.sub)
+		su.s.met.sseSubs.Add(-1)
 	}
 }
 
@@ -583,6 +635,7 @@ func (s *Service) Subscribe(id string) (*Subscription, error) {
 		return su, nil
 	}
 	jb.subs[sub] = struct{}{}
+	s.met.sseSubs.Add(1)
 	return su, nil
 }
 
@@ -744,20 +797,18 @@ func (s *Service) addAll(entries []gt.Entry) (int, error) {
 }
 
 // Health reports queue depths, the dispatch policy and per-tenant
-// wait-time statistics for the liveness endpoint.
+// wait-time statistics for the liveness endpoint. Every number is read
+// back from the metrics registry (the tenant gauge rows, the wait
+// sketches, and — via Fleet — the execution plane's lease counters), so
+// /healthz and /metrics can never disagree about the same quantity.
 func (s *Service) Health() api.Health {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	queued := 0
-	for _, jb := range s.jobs {
-		if jb.state == api.StateQueued {
-			queued++
-		}
-	}
+	queued, running := s.disp.countsLocked()
 	h := api.Health{
 		Status:      "ok",
 		Queued:      queued,
-		Running:     s.running,
+		Running:     running,
 		Workers:     s.cfg.Workers,
 		JobPolicy:   string(s.disp.q.Policy()),
 		ExecBackend: "local",
@@ -770,6 +821,10 @@ func (s *Service) Health() api.Health {
 	}
 	return h
 }
+
+// MetricsRegistry exposes the registry the service publishes into; nil
+// when metrics are disabled.
+func (s *Service) MetricsRegistry() *metrics.Registry { return s.cfg.Metrics }
 
 // Shutdown stops the service: no new submissions, the execution plane
 // drains, running jobs are cancelled at their next trial boundary,
@@ -805,6 +860,9 @@ func (s *Service) Shutdown() {
 		s.stop()        // interrupt running jobs and the snapshot ticker
 		s.wg.Wait()     // workers finish their current (now cancelled) jobs
 		s.drainQueued() // jobs still queued become cancelled
+		if s.mirror != nil {
+			s.mirror.Stop() // final sample lands the terminal state in the DB
+		}
 		if s.cfg.Remote != nil {
 			s.cfg.Remote.Close() // stop the reaper; late worker calls get errors
 		}

@@ -162,17 +162,46 @@ func (db *DB) FieldSeries(measurement, field string, q Query) (times, values []f
 	return times, values
 }
 
+// Trim drops a measurement's oldest points (by insertion order) until
+// at most keep remain. The metrics mirror uses it to bound retained
+// operational telemetry; trial telemetry is typically left untrimmed.
+func (db *DB) Trim(measurement string, keep int) {
+	if keep < 0 {
+		return
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	pts := db.series[measurement]
+	if len(pts) <= keep {
+		return
+	}
+	// Copy into a fresh slice so the dropped points' backing array is
+	// released rather than pinned by a re-slice.
+	kept := make([]Point, keep)
+	copy(kept, pts[len(pts)-keep:])
+	db.series[measurement] = kept
+}
+
 // snapshot is the JSON persistence format.
 type snapshot struct {
 	Series map[string][]Point `json:"series"`
 }
 
-// Save writes the full database as JSON.
+// Save writes the full database as JSON. The series index is
+// snapshotted under the read lock and encoded outside it, so writers
+// never stall for the duration of the encode: slice headers pin the
+// points present at snapshot time (existing points are immutable —
+// Write deep-copies and only ever appends), and concurrent appends
+// land beyond every pinned header's length.
 func (db *DB) Save(w io.Writer) error {
 	db.mu.RLock()
-	defer db.mu.RUnlock()
+	cp := make(map[string][]Point, len(db.series))
+	for name, pts := range db.series {
+		cp[name] = pts
+	}
+	db.mu.RUnlock()
 	enc := json.NewEncoder(w)
-	return enc.Encode(snapshot{Series: db.series})
+	return enc.Encode(snapshot{Series: cp})
 }
 
 // Load replaces the database contents with a previously saved snapshot.
