@@ -290,3 +290,17 @@ func BenchmarkAblationProbeBudget(b *testing.B) {
 		b.ReportMetric(best, "best-tuning-s")
 	}
 }
+
+func BenchmarkReuse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Reuse(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Identical {
+			b.Fatal("cached results diverged from uncached")
+		}
+		b.ReportMetric(res.Speedup, "sweep-speedup-x")
+		b.ReportMetric(float64(res.Rows[1].EpochsSaved), "epochs-saved")
+	}
+}

@@ -99,6 +99,7 @@ import (
 	"pipetune/internal/httpserve"
 	"pipetune/internal/metrics"
 	"pipetune/internal/service"
+	"pipetune/internal/trainer"
 	"pipetune/internal/tsdb"
 )
 
@@ -155,6 +156,8 @@ func run() error {
 		pprofFlag     = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = off)")
 		metricsFlag   = flag.Bool("metrics-enabled", true, "publish the metrics registry at GET /metrics (Prometheus text) and GET /v1/metrics (typed JSON)")
 		mirrorFlag    = flag.Duration("metrics-mirror-interval", 10*time.Second, "cadence of the registry mirror into the in-memory time-series DB")
+		cacheFlag     = flag.Bool("trial-cache", false, "enable the trial prefix cache: trials sharing a training prefix replay or resume cached SGD bit-identically (remote workers keep local caches of the same budget)")
+		cacheBytes    = flag.Int64("trial-cache-bytes", trainer.DefaultCacheBytes, "trial prefix cache byte budget (LRU-evicted; only with -trial-cache)")
 		weights       = weightFlags{}
 	)
 	flag.Var(weights, "tenant-weight", "fair-share weight as name=w (repeatable; unlisted tenants weigh 1)")
@@ -203,11 +206,15 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown -exec-backend %q (want local or remote)", *execFlag)
 	}
-	sys, err := pipetune.New(
+	opts := []pipetune.Option{
 		pipetune.WithSeed(*seedFlag),
 		pipetune.WithScheduler(*schedFlag),
 		pipetune.WithGroundTruthStore(store),
-	)
+	}
+	if *cacheFlag {
+		opts = append(opts, pipetune.WithTrialCache(*cacheBytes))
+	}
+	sys, err := pipetune.New(opts...)
 	if err != nil {
 		return err
 	}

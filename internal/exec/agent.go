@@ -309,7 +309,7 @@ func runBody(tr *trainer.Runner, asg Assignment, obs trainer.EpochObserver) (res
 			res, err = nil, fmt.Errorf("exec: trial body panicked: %v", p)
 		}
 	}()
-	return tr.Run(asg.Workload, asg.Hyper, asg.Sys, asg.Seed, obs)
+	return tr.RunWithCacheKey(asg.Workload, asg.Hyper, asg.Sys, asg.Seed, obs, asg.CacheKey)
 }
 
 // reportEpoch streams one epoch observation; ok is false when the lease

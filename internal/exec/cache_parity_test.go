@@ -1,0 +1,102 @@
+package exec
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"pipetune/internal/params"
+	"pipetune/internal/trainer"
+	"pipetune/internal/workload"
+)
+
+// cachedSmallTrainer is smallTrainer with a trial prefix cache attached —
+// the daemon-side shape when pipetuned runs with -trial-cache.
+func cachedSmallTrainer() *trainer.Runner {
+	tr := smallTrainer()
+	tr.Cache = trainer.NewTrialCache(0)
+	return tr
+}
+
+// TestCacheCrossWireCatalogParity is the execution-plane half of the
+// cache's bit-identity guarantee: with the trial prefix cache enabled —
+// daemon-derived CacheKey on every trial, CacheBytes in the shipped
+// TrainerConfig so workers keep warm worker-local caches — the local
+// backend, the JSON fleet and the binary fleet must all reproduce the
+// uncached local results byte for byte across the Table 3 catalog. Every
+// workload appears twice (same prefix, different system configuration:
+// the sys-sweep replay shape), so the second trial exercises a cache hit
+// on whichever process trained the first.
+func TestCacheCrossWireCatalogParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("catalog parity runs full trial compute; CI races it in the execution-plane step")
+	}
+	cat := workload.Catalog()
+	trialsFor := func(tr *trainer.Runner) []Trial {
+		h := params.DefaultHyper()
+		h.Epochs = 2
+		out := make([]Trial, 0, 2*len(cat))
+		for i, w := range cat {
+			first := Trial{
+				ID: i, Workload: w, Hyper: h, Sys: params.DefaultSysConfig(),
+				Seed: uint64(7000 + i), Trainer: CaptureTrainerConfig(tr),
+			}
+			if tr.Cache != nil {
+				first.CacheKey = tr.PrefixKey(w, h, first.Seed)
+			}
+			second := first
+			second.ID = i + len(cat)
+			second.Sys = params.SysConfig{Cores: 16, MemoryGB: 32}
+			out = append(out, first, second)
+		}
+		return out
+	}
+	run := func(b Backend, tr *trainer.Runner) []string {
+		trials := trialsFor(tr)
+		res, errs := b.Run(context.Background(), trials, 2)
+		out := make([]string, len(res))
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("%s trial %d (%s): %v", b.Name(), i, trials[i].Workload.Name(), err)
+			}
+			bts, err := json.Marshal(res[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = string(bts)
+		}
+		return out
+	}
+
+	plain := run(NewLocal(smallTrainer()), smallTrainer())
+
+	localCached := cachedSmallTrainer()
+	gotLocal := run(NewLocal(localCached), localCached)
+
+	jsonDaemon := cachedSmallTrainer()
+	jsonFleet, _ := startFleet(t, 2, RemoteConfig{Wire: WireJSON})
+	gotJSON := run(jsonFleet, jsonDaemon)
+
+	binDaemon := cachedSmallTrainer()
+	binFleet, _ := startFleet(t, 2, RemoteConfig{Wire: WireBinary})
+	gotBin := run(binFleet, binDaemon)
+
+	for i := range plain {
+		w := cat[i/2%len(cat)]
+		if gotLocal[i] != plain[i] {
+			t.Errorf("trial %d (%s): cached local diverges from uncached", i, w.Name())
+		}
+		if gotJSON[i] != plain[i] {
+			t.Errorf("trial %d (%s): cached json wire diverges from uncached local", i, w.Name())
+		}
+		if gotBin[i] != plain[i] {
+			t.Errorf("trial %d (%s): cached binary wire diverges from uncached local", i, w.Name())
+		}
+	}
+	// The local cache must have actually been exercised: each workload's
+	// second trial replays (or waits on) its first.
+	st := localCached.Cache.Stats()
+	if st.TrajectoryHits+st.FlightHits == 0 {
+		t.Fatalf("local cached run recorded no reuse: %+v", st)
+	}
+}

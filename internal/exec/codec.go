@@ -309,15 +309,20 @@ func (r *wireReader) finish() error {
 
 // --- Hello / Welcome -------------------------------------------------
 
+// codecVersion is the stream codec layout version, carried in Hello.
+// Version 2 added the trainer cache budget and the prefix-cache key hint
+// to assignments — an incompatible grant layout change.
+const codecVersion = 2
+
 func encodeHello(w *wirebuf, name string, capacity int) {
-	w.u8(1) // codec version; bumped only on incompatible layout changes
+	w.u8(codecVersion) // bumped only on incompatible layout changes
 	w.str(name)
 	w.uvarint(uint64(capacity))
 }
 
 func decodeHello(p []byte) (name string, capacity int, err error) {
 	r := wireReader{b: p}
-	if v := r.u8(); v != 1 && r.err == nil {
+	if v := r.u8(); v != codecVersion && r.err == nil {
 		return "", 0, fmt.Errorf("%w: unsupported codec version %d", errFrameCorrupt, v)
 	}
 	name = r.str()
@@ -367,6 +372,8 @@ func appendAssignment(w *wirebuf, leaseID string, attempt int, t *Trial) {
 	w.uvarint(uint64(t.Trainer.TestSize))
 	w.f64(t.Trainer.Load)
 	w.u64(t.Trainer.DataSeed)
+	w.uvarint(uint64(t.Trainer.CacheBytes))
+	w.str(t.CacheKey)
 }
 
 func readAssignment(r *wireReader, asg *Assignment) {
@@ -384,6 +391,8 @@ func readAssignment(r *wireReader, asg *Assignment) {
 		Load:      r.f64(),
 		DataSeed:  r.u64(),
 	}
+	asg.Trainer.CacheBytes = int64(r.uvarint())
+	asg.CacheKey = r.str()
 }
 
 // decodeGrant decodes a batch of assignments.

@@ -451,6 +451,7 @@ func (r *Remote) NextLease(workerID string, wait time.Duration) (*Assignment, er
 				Seed:         l.trial.Seed,
 				StreamEpochs: l.trial.Observer != nil,
 				Trainer:      l.trial.Trainer,
+				CacheKey:     l.trial.CacheKey,
 			}
 			r.met.leaseGrants.Inc()
 			return asg, nil

@@ -24,17 +24,25 @@ type TrainerConfig struct {
 	TestSize  int     `json:"testSize"`
 	Load      float64 `json:"load"`
 	DataSeed  uint64  `json:"dataSeed"`
+	// CacheBytes > 0 tells the worker to keep a worker-local trial prefix
+	// cache of that byte budget, mirroring the daemon's. Zero disables
+	// caching on the worker.
+	CacheBytes int64 `json:"cacheBytes,omitempty"`
 }
 
 // CaptureTrainerConfig extracts the wire-portable configuration of a
 // trainer.
 func CaptureTrainerConfig(tr *trainer.Runner) TrainerConfig {
-	return TrainerConfig{
+	tc := TrainerConfig{
 		TrainSize: tr.Data.TrainSize,
 		TestSize:  tr.Data.TestSize,
 		Load:      tr.Load,
 		DataSeed:  tr.DataSeed,
 	}
+	if tr.Cache != nil {
+		tc.CacheBytes = tr.Cache.Cap()
+	}
+	return tc
 }
 
 // NewRunner builds a worker-side trainer reproducing the captured
@@ -49,6 +57,9 @@ func (tc TrainerConfig) NewRunner() *trainer.Runner {
 	}
 	if tc.DataSeed != 0 {
 		tr.DataSeed = tc.DataSeed
+	}
+	if tc.CacheBytes > 0 {
+		tr.Cache = trainer.NewTrialCache(tc.CacheBytes)
 	}
 	return tr
 }
@@ -99,6 +110,9 @@ type Assignment struct {
 	StreamEpochs bool `json:"streamEpochs,omitempty"`
 	// Trainer reproduces the daemon's trainer substrate on the worker.
 	Trainer TrainerConfig `json:"trainer"`
+	// CacheKey is the daemon-derived trial prefix cache key hint for the
+	// worker's local cache; empty when the daemon runs uncached.
+	CacheKey string `json:"cacheKey,omitempty"`
 }
 
 // EpochWire is one epoch-boundary observation on the wire. The embedded

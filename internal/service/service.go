@@ -274,6 +274,10 @@ func New(cfg Config) (*Service, error) {
 		if in, ok := s.gt.(gt.Instrumentable); ok {
 			in.InstrumentMetrics(cfg.Metrics)
 		}
+		// The trainer substrate publishes too: tsdb write errors and,
+		// when the trial prefix cache is enabled, its hit/miss/residency
+		// families.
+		cfg.System.InstrumentTrainer(cfg.Metrics)
 		if cfg.MetricsDB != nil {
 			s.mirror = &metrics.Mirror{Registry: cfg.Metrics, DB: cfg.MetricsDB, Interval: cfg.MetricsMirrorInterval}
 			s.mirror.Start()

@@ -1,0 +1,320 @@
+package trainer
+
+// The trial prefix cache: PipeTune's second reuse axis (after the
+// ground-truth store), exploiting that SGD progress depends only on
+// (workload, corpus, training-relevant hyperparameters, seed) — never on
+// the system configuration a trial happens to run under (Li et al.,
+// "Exploiting Reuse in Pipeline-Aware Hyperparameter Tuning"). Two
+// mechanisms share one keyed entry:
+//
+//   - the *trajectory cache*: the full per-epoch (loss, accuracy)
+//     sequence plus the final network digest. A trial whose prefix was
+//     already trained to at least its epoch budget replays the cached
+//     curve and skips nn.TrainEpoch/Evaluate entirely — the sys-sweep
+//     case, where Algorithm 1 explores many system configurations per
+//     hyperparameter point.
+//   - the *epoch checkpoint store*: the serialized network + shuffle-RNG
+//     state after the deepest trained epoch. A trial sharing the hyper
+//     prefix but wanting more epochs (a successive-halving rung
+//     promotion, a larger Epochs setting) resumes from the checkpoint
+//     instead of epoch 0.
+//
+// Replayed and resumed results are bit-identical to from-scratch runs:
+// trajectories store the exact float64s, checkpoints restore the exact
+// RNG and weight state, and the trainer's RNG streams for training and
+// simulation are split independently. Memory is bounded by a strict byte
+// cap with whole-entry LRU eviction, and a singleflight collapses
+// concurrent identical prefixes into one training run.
+
+import (
+	"container/list"
+	"strconv"
+	"sync"
+
+	"pipetune/internal/metrics"
+	"pipetune/internal/nn"
+)
+
+// DefaultCacheBytes is the default trial-cache budget: enough for
+// thousands of trajectories plus the handful of hot checkpoints a
+// tuning job's rung structure produces.
+const DefaultCacheBytes int64 = 64 << 20
+
+// TrajPoint is one epoch's learning outcome — exactly the two numbers
+// the simulation loop needs from SGD.
+type TrajPoint struct {
+	Loss float64
+	Acc  float64
+}
+
+// checkpoint is a serialized (network, shuffle-RNG) snapshot after epoch.
+type checkpoint struct {
+	epoch  int
+	data   []byte
+	digest uint64
+}
+
+// cacheEntry is one prefix key's cached state: the trajectory as deep as
+// it has ever been trained and the deepest checkpoint.
+type cacheEntry struct {
+	key   string
+	elem  *list.Element
+	traj  []TrajPoint // immutable once published; replaced, never appended
+	ckpt  checkpoint
+	bytes int64
+}
+
+// entryOverhead approximates the bookkeeping bytes an entry costs beyond
+// its key, trajectory and checkpoint payloads.
+const entryOverhead = 128
+
+func (e *cacheEntry) size() int64 {
+	return entryOverhead + int64(len(e.key)) + 16*int64(len(e.traj)) + int64(len(e.ckpt.data))
+}
+
+// CacheStats is a point-in-time counter snapshot, for tests, the reuse
+// experiment and operators without a metrics registry.
+type CacheStats struct {
+	// TrajectoryHits replayed a fully cached learning curve;
+	// CheckpointHits resumed from a cached epoch snapshot; FlightHits
+	// waited on a concurrent identical prefix instead of training;
+	// Misses trained from scratch.
+	TrajectoryHits uint64
+	CheckpointHits uint64
+	FlightHits     uint64
+	Misses         uint64
+	// EpochsSaved counts epochs of SGD the cache avoided; EpochsTrained
+	// counts epochs actually computed through the cache.
+	EpochsSaved   uint64
+	EpochsTrained uint64
+	// Evictions counts entries dropped to stay under the byte cap.
+	Evictions uint64
+	// Entries and Bytes describe current residency.
+	Entries int
+	Bytes   int64
+}
+
+// cacheInstruments are the registry handles; all nil (no-op) until
+// InstrumentMetrics runs.
+type cacheInstruments struct {
+	hits        *metrics.CounterVec // trainer_trial_cache_hits_total{kind}
+	misses      *metrics.Counter
+	epochsSaved *metrics.Counter
+	evictions   *metrics.Counter
+	bytes       *metrics.Gauge
+	entries     *metrics.Gauge
+	savedDist   *metrics.Distribution // epochs saved per hit
+}
+
+// TrialCache memoises learning trajectories and epoch checkpoints under
+// a byte budget. Safe for concurrent use; one cache is typically shared
+// by every trial a daemon (or a worker process) runs.
+type TrialCache struct {
+	max int64
+
+	mu      sync.Mutex
+	bytes   int64
+	lru     *list.List // front = coldest
+	entries map[string]*cacheEntry
+	stats   CacheStats
+	met     cacheInstruments
+
+	flights flightGroup
+}
+
+// NewTrialCache builds a cache bounded to maxBytes (<= 0 selects
+// DefaultCacheBytes).
+func NewTrialCache(maxBytes int64) *TrialCache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultCacheBytes
+	}
+	return &TrialCache{
+		max:     maxBytes,
+		lru:     list.New(),
+		entries: make(map[string]*cacheEntry),
+	}
+}
+
+// Cap returns the configured byte budget.
+func (c *TrialCache) Cap() int64 { return c.max }
+
+// Stats snapshots the cache counters.
+func (c *TrialCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = len(c.entries)
+	s.Bytes = c.bytes
+	return s
+}
+
+// Digest returns the cached final-network digest for a key, if present.
+func (c *TrialCache) Digest(key string) (uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e := c.entries[key]; e != nil && e.ckpt.epoch > 0 {
+		return e.ckpt.digest, true
+	}
+	return 0, false
+}
+
+// InstrumentMetrics registers the cache's families on reg and starts
+// publishing. Call before concurrent use (the service wires it at
+// construction). A nil registry yields nil handles: every update stays a
+// no-op.
+func (c *TrialCache) InstrumentMetrics(reg *metrics.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.met = cacheInstruments{
+		hits:        reg.CounterVec("trainer_trial_cache_hits_total", "Trial prefix cache hits by kind (trajectory replay, checkpoint resume, singleflight wait).", "kind"),
+		misses:      reg.Counter("trainer_trial_cache_misses_total", "Trial prefixes trained from scratch."),
+		epochsSaved: reg.Counter("trainer_trial_cache_epochs_saved_total", "Epochs of SGD avoided by the prefix cache."),
+		evictions:   reg.Counter("trainer_trial_cache_evictions_total", "Cache entries evicted to stay under the byte cap."),
+		bytes:       reg.Gauge("trainer_trial_cache_bytes", "Bytes resident in the trial prefix cache."),
+		entries:     reg.Gauge("trainer_trial_cache_entries", "Entries resident in the trial prefix cache."),
+		savedDist:   reg.Distribution("trainer_trial_cache_saved_epochs", "Epochs saved per cache hit."),
+	}
+	c.met.bytes.Set(float64(c.bytes))
+	c.met.entries.Set(float64(len(c.entries)))
+}
+
+// hitLocked records a hit of the given kind that saved saved epochs.
+// Callers hold c.mu.
+func (c *TrialCache) hitLocked(kind string, saved int) {
+	switch kind {
+	case "trajectory":
+		c.stats.TrajectoryHits++
+	case "checkpoint":
+		c.stats.CheckpointHits++
+	case "singleflight":
+		c.stats.FlightHits++
+	}
+	c.stats.EpochsSaved += uint64(saved)
+	c.met.hits.With(kind).Inc()
+	c.met.epochsSaved.Add(uint64(saved))
+	c.met.savedDist.Observe(float64(saved))
+}
+
+// trainFunc computes the trajectory suffix from start (exclusive) to the
+// requested depth: pts holds epochs start+1..depth in order and ckptData
+// the serialized (network, shuffle-RNG) state after the last of them.
+// ckpt is the snapshot to resume from when start > 0, nil for a
+// from-scratch run.
+type trainFunc func(start int, ckpt []byte) (pts []TrajPoint, ckptData []byte, err error)
+
+// lookup returns the cached trajectory prefix when it is at least epochs
+// deep. The returned slice is immutable shared state — read-only.
+func (c *TrialCache) lookup(key string, epochs int) ([]TrajPoint, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.entries[key]
+	if e == nil || len(e.traj) < epochs {
+		return nil, false
+	}
+	c.lru.MoveToBack(e.elem)
+	c.hitLocked("trajectory", epochs)
+	return e.traj[:epochs], true
+}
+
+// resumePoint finds the deepest usable checkpoint for a run to epochs:
+// the trajectory prefix it covers, its epoch and a private copy of its
+// data. A miss returns (nil, 0, nil). Counting happens here — exactly
+// one of {checkpoint hit, miss} per actual training run.
+func (c *TrialCache) resumePoint(key string, epochs int) (prefix []TrajPoint, start int, ckpt []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.entries[key]
+	if e != nil && e.ckpt.epoch > 0 && e.ckpt.epoch <= epochs && len(e.traj) >= e.ckpt.epoch {
+		c.lru.MoveToBack(e.elem)
+		start = e.ckpt.epoch
+		prefix = e.traj[:start]
+		ckpt = append([]byte(nil), e.ckpt.data...)
+		c.hitLocked("checkpoint", start)
+		return prefix, start, ckpt
+	}
+	c.stats.Misses++
+	c.met.misses.Inc()
+	return nil, 0, nil
+}
+
+// merge publishes a training run's outcome: the full trajectory (prefix
+// + freshly trained suffix) and, when deeper than what is stored, the
+// new checkpoint. Returns the full trajectory for the caller.
+func (c *TrialCache) merge(key string, prefix, pts []TrajPoint, ckptEpoch int, ckptData []byte) []TrajPoint {
+	full := make([]TrajPoint, 0, len(prefix)+len(pts))
+	full = append(full, prefix...)
+	full = append(full, pts...)
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stats.EpochsTrained += uint64(len(pts))
+	e := c.entries[key]
+	if e == nil {
+		e = &cacheEntry{key: key}
+		e.elem = c.lru.PushBack(e)
+		c.entries[key] = e
+	}
+	old := e.bytes
+	if len(full) > len(e.traj) {
+		e.traj = full
+	}
+	if ckptEpoch > e.ckpt.epoch {
+		e.ckpt = checkpoint{epoch: ckptEpoch, data: ckptData, digest: nn.StateDigest(ckptData)}
+	}
+	e.bytes = e.size()
+	c.bytes += e.bytes - old
+	c.lru.MoveToBack(e.elem)
+	c.evictLocked()
+	c.met.bytes.Set(float64(c.bytes))
+	c.met.entries.Set(float64(len(c.entries)))
+	return full
+}
+
+// evictLocked drops coldest-first whole entries until the cache fits its
+// budget. The freshly touched entry is not exempt: a single entry larger
+// than the cap is evicted too, keeping residency under the cap always
+// (such a prefix simply retrains every time).
+func (c *TrialCache) evictLocked() {
+	for c.bytes > c.max && c.lru.Len() > 0 {
+		front := c.lru.Front()
+		e := front.Value.(*cacheEntry)
+		c.lru.Remove(front)
+		delete(c.entries, e.key)
+		c.bytes -= e.bytes
+		c.stats.Evictions++
+		c.met.evictions.Inc()
+	}
+}
+
+// trajectory returns the (loss, accuracy) sequence for epochs 1..epochs
+// under the prefix key, training (via train) only the suffix the cache
+// cannot supply. Concurrent callers with the same key and depth share
+// one training run. Errors are never cached.
+func (c *TrialCache) trajectory(key string, epochs int, train trainFunc) ([]TrajPoint, error) {
+	if pts, ok := c.lookup(key, epochs); ok {
+		return pts, nil
+	}
+	fkey := key + "#" + strconv.Itoa(epochs)
+	v, err, shared := c.flights.Do(fkey, func() (any, error) {
+		// Re-check under flight leadership: a deeper run may have
+		// published while this caller was acquiring the flight.
+		if pts, ok := c.lookup(key, epochs); ok {
+			return pts, nil
+		}
+		prefix, start, ckpt := c.resumePoint(key, epochs)
+		pts, ckptData, err := train(start, ckpt)
+		if err != nil {
+			return nil, err
+		}
+		return c.merge(key, prefix, pts, epochs, ckptData), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if shared {
+		c.mu.Lock()
+		c.hitLocked("singleflight", epochs)
+		c.mu.Unlock()
+	}
+	return v.([]TrajPoint), nil
+}

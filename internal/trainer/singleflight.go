@@ -1,0 +1,53 @@
+package trainer
+
+// A minimal singleflight: concurrent callers of Do with the same key run
+// fn once and all receive its outcome. Used twice in this package — to
+// collapse duplicate corpus synthesis (N concurrent first trials of a
+// workload generate the corpus once) and to collapse duplicate prefix
+// training in the trial cache (concurrent identical prefixes train
+// once). Hand-rolled because the module deliberately has no external
+// dependencies.
+
+import "sync"
+
+// flight is one in-progress call.
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// flightGroup deduplicates concurrent calls by key. The zero value is
+// ready to use.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+// Do executes fn once per key among concurrent callers: the first caller
+// runs it, the rest block until it finishes and share the same (val,
+// err). shared reports whether the result came from another caller's
+// execution. Once the leader returns, the key is forgotten — a later Do
+// runs fn again (the caller's own cache decides whether that is needed).
+func (g *flightGroup) Do(key string, fn func() (any, error)) (val any, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[string]*flight)
+	}
+	if f, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		<-f.done
+		return f.val, f.err, true
+	}
+	f := &flight{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	f.val, f.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.val, f.err, false
+}

@@ -14,14 +14,18 @@
 package trainer
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"math"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"pipetune/internal/costmodel"
 	"pipetune/internal/dataset"
 	"pipetune/internal/energy"
+	"pipetune/internal/metrics"
 	"pipetune/internal/nn"
 	"pipetune/internal/params"
 	"pipetune/internal/perf"
@@ -110,8 +114,19 @@ type Runner struct {
 	// as all trials of a real HPT job read the same dataset.
 	DataSeed uint64
 
-	mu    sync.Mutex
-	cache map[string]*corpusPair
+	// Cache, when non-nil, is the trial prefix cache: trials sharing a
+	// training prefix (same workload, corpus, training-relevant hyper
+	// fields and seed — SysConfig never enters the key) replay or resume
+	// cached SGD instead of recomputing it, bit-identically. Attach
+	// before running trials; share one cache across all trials of a
+	// process.
+	Cache *TrialCache
+
+	mu            sync.Mutex
+	cache         map[string]*corpusPair
+	corpusFlights flightGroup
+	corpusGens    atomic.Uint64 // distinct corpus syntheses (singleflight test hook)
+	tsdbErrs      atomic.Pointer[metrics.Counter]
 }
 
 type corpusPair struct {
@@ -133,7 +148,10 @@ func NewRunner() *Runner {
 // corpus returns (and caches) the dataset split for a workload. The cache
 // key includes only the dataset and sizes — matching the paper's reality
 // that Type-II workloads share one corpus. Synthesis always uses DataSeed,
-// never a trial seed, so concurrent trials cannot race on corpus identity.
+// never a trial seed, so concurrent trials cannot race on corpus identity;
+// a singleflight collapses N concurrent first trials of a workload into
+// one generation (still outside r.mu, so cached-corpus trials never wait
+// behind a synthesis).
 func (r *Runner) corpus(w workload.Workload) (*corpusPair, error) {
 	key := w.Dataset.String() + "/" + strconv.Itoa(r.Data.TrainSize) + "/" + strconv.Itoa(r.Data.TestSize)
 	r.mu.Lock()
@@ -146,17 +164,50 @@ func (r *Runner) corpus(w workload.Workload) (*corpusPair, error) {
 	}
 	r.mu.Unlock()
 
-	// Generation happens outside the lock; duplicate work on a race is
-	// harmless because generation is deterministic.
-	train, test, err := dataset.Generate(w, r.DataSeed, r.Data)
+	v, err, _ := r.corpusFlights.Do(key, func() (any, error) {
+		// A previous flight may have published while this caller was
+		// between the map check and the flight.
+		r.mu.Lock()
+		cp, ok := r.cache[key]
+		r.mu.Unlock()
+		if ok {
+			return cp, nil
+		}
+		r.corpusGens.Add(1)
+		train, test, err := dataset.Generate(w, r.DataSeed, r.Data)
+		if err != nil {
+			return nil, err
+		}
+		cp = &corpusPair{train: train, test: test}
+		r.mu.Lock()
+		r.cache[key] = cp
+		r.mu.Unlock()
+		return cp, nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	cp := &corpusPair{train: train, test: test}
-	r.mu.Lock()
-	r.cache[key] = cp
-	r.mu.Unlock()
-	return cp, nil
+	return v.(*corpusPair), nil
+}
+
+// InstrumentMetrics registers the trainer's instruments on reg: the tsdb
+// write-error counter and, when a trial prefix cache is attached, its
+// hit/miss/residency families. Call before running trials. A nil
+// registry (metrics disabled) keeps every update a no-op.
+func (r *Runner) InstrumentMetrics(reg *metrics.Registry) {
+	r.tsdbErrs.Store(reg.Counter("trainer_tsdb_write_errors_total", "Epoch summaries and power points the trainer failed to write to the tsdb."))
+	if r.Cache != nil {
+		r.Cache.InstrumentMetrics(reg)
+	}
+}
+
+// TSDBWriteErrors returns the count of discarded tsdb writes observed
+// since InstrumentMetrics; zero when uninstrumented.
+func (r *Runner) TSDBWriteErrors() uint64 {
+	if c := r.tsdbErrs.Load(); c != nil {
+		return c.Value()
+	}
+	return 0
 }
 
 // record writes an epoch's power series and summary to the tsdb, tagged by
@@ -171,13 +222,15 @@ func (r *Runner) record(trialSeed uint64, w workload.Workload, s EpochStats, ser
 	}
 	start := s.EndTime - s.Duration
 	for i, watts := range series {
-		_ = r.DB.Write("power", tsdb.Point{
+		if err := r.DB.Write("power", tsdb.Point{
 			Time:   start + float64(i),
 			Tags:   tags,
 			Fields: map[string]float64{"watts": watts},
-		})
+		}); err != nil {
+			r.tsdbErrs.Load().Inc()
+		}
 	}
-	_ = r.DB.Write("epochs", tsdb.Point{
+	if err := r.DB.Write("epochs", tsdb.Point{
 		Time: s.EndTime,
 		Tags: tags,
 		Fields: map[string]float64{
@@ -188,13 +241,86 @@ func (r *Runner) record(trialSeed uint64, w workload.Workload, s EpochStats, ser
 			"cores":    float64(s.Sys.Cores),
 			"memoryGB": float64(s.Sys.MemoryGB),
 		},
-	})
+	}); err != nil {
+		r.tsdbErrs.Load().Inc()
+	}
+}
+
+// PrefixKey derives the trial prefix cache key: every input SGD progress
+// depends on — the workload (model and dataset), the corpus (sizes and
+// DataSeed), the training-relevant Hyper fields (batch size, learning
+// rate, dropout, embedding dim; float64s as exact bit patterns) and the
+// trial seed. Epochs is deliberately excluded (it is the prefix axis the
+// cache extends along), and so are SysConfig, Load and the cost/power
+// models — they shape the simulation, never the learning curve.
+func (r *Runner) PrefixKey(w workload.Workload, h params.Hyper, seed uint64) string {
+	b := make([]byte, 0, 96)
+	b = append(b, "v1|"...)
+	b = strconv.AppendInt(b, int64(w.Model), 10)
+	b = append(b, '/')
+	b = strconv.AppendInt(b, int64(w.Dataset), 10)
+	b = append(b, '|')
+	b = strconv.AppendUint(b, r.DataSeed, 10)
+	b = append(b, '/')
+	b = strconv.AppendInt(b, int64(r.Data.TrainSize), 10)
+	b = append(b, '/')
+	b = strconv.AppendInt(b, int64(r.Data.TestSize), 10)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(h.BatchSize), 10)
+	b = append(b, '/')
+	b = strconv.AppendUint(b, math.Float64bits(h.LearningRate), 16)
+	b = append(b, '/')
+	b = strconv.AppendUint(b, math.Float64bits(h.Dropout), 16)
+	b = append(b, '/')
+	b = strconv.AppendInt(b, int64(h.EmbeddingDim), 10)
+	b = append(b, '|')
+	b = strconv.AppendUint(b, seed, 16)
+	return string(b)
+}
+
+// ckptVersion versions the checkpoint blob layout.
+const ckptVersion = 1
+
+// ckptHeaderLen is the version byte plus the shuffle RNG's 4×u64 state.
+const ckptHeaderLen = 1 + 4*8
+
+// captureCheckpoint serializes the state a resumed run needs: the shuffle
+// RNG stream position and the network's mutable training state.
+func captureCheckpoint(net *nn.Network, shuffle *xrand.Source) []byte {
+	buf := make([]byte, 0, 1024)
+	buf = append(buf, ckptVersion)
+	for _, v := range shuffle.State() {
+		buf = binary.LittleEndian.AppendUint64(buf, v)
+	}
+	return net.CaptureState(buf)
+}
+
+// restoreCheckpoint applies a captured checkpoint to a freshly built
+// network and its shuffle RNG.
+func restoreCheckpoint(data []byte, net *nn.Network, shuffle *xrand.Source) error {
+	if len(data) < ckptHeaderLen || data[0] != ckptVersion {
+		return errors.New("invalid checkpoint blob")
+	}
+	var st [4]uint64
+	for i := range st {
+		st[i] = binary.LittleEndian.Uint64(data[1+8*i:])
+	}
+	shuffle.SetState(st)
+	return net.RestoreState(data[ckptHeaderLen:])
 }
 
 // Run executes one trial of w with hyperparameters h, starting from system
 // configuration sys. The observer (optional) can re-configure the system at
 // each epoch boundary. All randomness derives from seed.
 func (r *Runner) Run(w workload.Workload, h params.Hyper, sys params.SysConfig, seed uint64, obs EpochObserver) (*Result, error) {
+	return r.RunWithCacheKey(w, h, sys, seed, obs, "")
+}
+
+// RunWithCacheKey is Run with an explicit prefix-cache key hint: remote
+// workers pass the key the daemon stamped on the lease so key derivation
+// cannot diverge across processes. An empty hint derives the key locally;
+// without an attached Cache the hint is ignored entirely.
+func (r *Runner) RunWithCacheKey(w workload.Workload, h params.Hyper, sys params.SysConfig, seed uint64, obs EpochObserver, cacheKey string) (*Result, error) {
 	if err := h.Validate(); err != nil {
 		return nil, fmt.Errorf("trainer: %w", err)
 	}
@@ -214,15 +340,72 @@ func (r *Runner) Run(w workload.Workload, h params.Hyper, sys params.SysConfig, 
 		return nil, fmt.Errorf("trainer: %w", err)
 	}
 
+	// The RNG split order is load-bearing: training streams (netRng,
+	// shuffleRng) come before and are independent of the simulation
+	// streams (perfRng, powerRng), so the prefix cache may replay or
+	// resume SGD without touching the simulated profile/power draws —
+	// the replayed result stays bit-identical to an uncached run.
 	rng := xrand.New(seed)
 	netRng := rng.Split()
 	shuffleRng := rng.Split()
 	perfRng := rng.Split()
 	powerRng := rng.Split()
 
-	net, err := nn.Build(w.Model, cp.train.Dim, cp.train.NumClasses, h, netRng)
-	if err != nil {
-		return nil, fmt.Errorf("trainer: %w", err)
+	// epochValues supplies epoch e's (loss, accuracy). Uncached, it is
+	// the literal pre-cache training step, run lazily inside the
+	// simulation loop; cached, the whole trajectory is resolved up front
+	// (replayed, resumed from a checkpoint, or trained and stored) and
+	// the loop just reads it.
+	var epochValues func(epoch int) (TrajPoint, error)
+	trainSuffix := func(start int, ckpt []byte) ([]TrajPoint, []byte, error) {
+		net, err := nn.Build(w.Model, cp.train.Dim, cp.train.NumClasses, h, netRng)
+		if err != nil {
+			return nil, nil, fmt.Errorf("trainer: %w", err)
+		}
+		if start > 0 {
+			if err := restoreCheckpoint(ckpt, net, shuffleRng); err != nil {
+				return nil, nil, fmt.Errorf("trainer: resume at epoch %d: %w", start, err)
+			}
+		}
+		pts := make([]TrajPoint, 0, h.Epochs-start)
+		for epoch := start + 1; epoch <= h.Epochs; epoch++ {
+			loss, err := net.TrainEpoch(cp.train, h.BatchSize, h.LearningRate, shuffleRng)
+			if err != nil {
+				return nil, nil, fmt.Errorf("trainer: epoch %d: %w", epoch, err)
+			}
+			acc, _, err := net.Evaluate(cp.test)
+			if err != nil {
+				return nil, nil, fmt.Errorf("trainer: epoch %d eval: %w", epoch, err)
+			}
+			pts = append(pts, TrajPoint{Loss: loss, Acc: acc})
+		}
+		return pts, captureCheckpoint(net, shuffleRng), nil
+	}
+	if c := r.Cache; c != nil {
+		if cacheKey == "" {
+			cacheKey = r.PrefixKey(w, h, seed)
+		}
+		pts, err := c.trajectory(cacheKey, h.Epochs, trainSuffix)
+		if err != nil {
+			return nil, err
+		}
+		epochValues = func(epoch int) (TrajPoint, error) { return pts[epoch-1], nil }
+	} else {
+		net, err := nn.Build(w.Model, cp.train.Dim, cp.train.NumClasses, h, netRng)
+		if err != nil {
+			return nil, fmt.Errorf("trainer: %w", err)
+		}
+		epochValues = func(epoch int) (TrajPoint, error) {
+			loss, err := net.TrainEpoch(cp.train, h.BatchSize, h.LearningRate, shuffleRng)
+			if err != nil {
+				return TrajPoint{}, fmt.Errorf("trainer: epoch %d: %w", epoch, err)
+			}
+			acc, _, err := net.Evaluate(cp.test)
+			if err != nil {
+				return TrajPoint{}, fmt.Errorf("trainer: epoch %d eval: %w", epoch, err)
+			}
+			return TrajPoint{Loss: loss, Acc: acc}, nil
+		}
 	}
 
 	res := &Result{Workload: w, Hyper: h, FinalSys: sys}
@@ -286,21 +469,17 @@ func (r *Runner) Run(w workload.Workload, h params.Hyper, sys params.SysConfig, 
 	res.EnergyJ += initStats.EnergyJ
 
 	for epoch := 1; epoch <= h.Epochs; epoch++ {
-		loss, err := net.TrainEpoch(cp.train, h.BatchSize, h.LearningRate, shuffleRng)
+		p, err := epochValues(epoch)
 		if err != nil {
-			return nil, fmt.Errorf("trainer: epoch %d: %w", epoch, err)
+			return nil, err
 		}
-		acc, _, err := net.Evaluate(cp.test)
-		if err != nil {
-			return nil, fmt.Errorf("trainer: epoch %d eval: %w", epoch, err)
-		}
-		s, err := runPhase(epoch, false, loss, acc)
+		s, err := runPhase(epoch, false, p.Loss, p.Acc)
 		if err != nil {
 			return nil, fmt.Errorf("trainer: epoch %d: %w", epoch, err)
 		}
 		res.Epochs = append(res.Epochs, s)
 		res.EnergyJ += s.EnergyJ
-		res.Accuracy = acc
+		res.Accuracy = p.Acc
 
 		if obs != nil {
 			if next := obs.OnEpochEnd(seed, w, h, s); next != nil {

@@ -724,15 +724,24 @@ func (r *Runner) runBatch(ctx context.Context, spec JobSpec, batch []search.Sugg
 			StartSys:   sys,
 			BudgetFrac: sug.BudgetFrac,
 		}
+		trialSeed := spec.Seed ^ (uint64(sug.ID)+1)*0x9e3779b97f4a7c15
+		var cacheKey string
+		if r.Trainer.Cache != nil {
+			// Derive the prefix-cache key once here so every backend —
+			// the in-process pool and each remote worker — uses the
+			// submitting trainer's key, not a locally re-derived one.
+			cacheKey = r.Trainer.PrefixKey(spec.Workload, h, trialSeed)
+		}
 		trials = append(trials, exec.Trial{
 			ID:       sug.ID,
 			Workload: spec.Workload,
 			Hyper:    h,
 			Sys:      sys,
-			Seed:     spec.Seed ^ (uint64(sug.ID)+1)*0x9e3779b97f4a7c15,
+			Seed:     trialSeed,
 			Observer: obs,
 			Restart:  restart,
 			Trainer:  tc,
+			CacheKey: cacheKey,
 		})
 		idx = append(idx, i)
 	}

@@ -37,6 +37,7 @@ import (
 	"pipetune/internal/dataset"
 	"pipetune/internal/exec"
 	"pipetune/internal/gt"
+	"pipetune/internal/metrics"
 	"pipetune/internal/params"
 	"pipetune/internal/sched"
 	"pipetune/internal/trainer"
@@ -242,6 +243,18 @@ func WithLoad(load float64) Option {
 	return func(s *System) { s.trainer.Load = load }
 }
 
+// WithTrialCache attaches a trial prefix cache to the System's trainer:
+// trials sharing a training prefix — same workload, corpus, training-
+// relevant hyperparameters and seed; the system configuration never
+// enters the key — replay or resume cached SGD instead of recomputing
+// it, bit-identically. The cache is bounded to maxBytes of resident
+// trajectory and checkpoint state (<= 0 selects the default budget) with
+// LRU eviction. Remote execution backends propagate the budget to
+// workers, which keep worker-local caches under the same keys.
+func WithTrialCache(maxBytes int64) Option {
+	return func(s *System) { s.trainer.Cache = trainer.NewTrialCache(maxBytes) }
+}
+
 // WithProbes replaces the system-configuration probe grid (§5.6).
 func WithProbes(probes []SysConfig) Option {
 	return func(s *System) {
@@ -413,6 +426,22 @@ func (s *System) SetGroundTruthStore(store GroundTruthStore) {
 	if store != nil {
 		s.pipetune.GT = store
 	}
+}
+
+// InstrumentTrainer registers the trainer substrate's metric families on
+// reg: the tsdb write-error counter and, when WithTrialCache is enabled,
+// the prefix cache's hit/miss/residency series. The service layer wires
+// this when metrics are enabled; library callers may too. Call before
+// running jobs.
+func (s *System) InstrumentTrainer(reg *metrics.Registry) { s.trainer.InstrumentMetrics(reg) }
+
+// TrainerCacheStats snapshots the trial prefix cache's counters; the zero
+// value when WithTrialCache is not enabled.
+func (s *System) TrainerCacheStats() trainer.CacheStats {
+	if s.trainer.Cache == nil {
+		return trainer.CacheStats{}
+	}
+	return s.trainer.Cache.Stats()
 }
 
 // PredictTrialDuration estimates a trial's simulated duration without

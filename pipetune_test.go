@@ -2,6 +2,7 @@ package pipetune
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"sync"
 	"testing"
@@ -54,6 +55,53 @@ func TestFacadeEndToEnd(t *testing.T) {
 	}
 	if hits == 0 {
 		t.Fatal("no ground-truth hits")
+	}
+}
+
+// TestTrialCacheJobParity pins the facade-level guarantee behind
+// -trial-cache: a whole tuning job — baseline and PipeTune, searcher and
+// scheduler included — produces byte-identical JobResult JSON with the
+// trial prefix cache on and off. The cached system also proves reuse
+// actually happened: the PipeTune job's trials share prefixes with the
+// baseline's (same spec, same derived seeds), so the cache replays them.
+func TestTrialCacheJobParity(t *testing.T) {
+	w := Workload{Model: LeNet5, Dataset: MNIST}
+	runJobs := func(s *System) (string, string) {
+		t.Helper()
+		spec := fastSpec(s, w)
+		base, err := s.RunBaseline(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pt, err := s.RunPipeTune(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, err := json.Marshal(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pb, err := json.Marshal(pt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(bb), string(pb)
+	}
+	wantBase, wantPT := runJobs(fastSystem(t))
+	cached := fastSystem(t, WithTrialCache(0))
+	gotBase, gotPT := runJobs(cached)
+	if gotBase != wantBase {
+		t.Error("baseline JobResult JSON differs with the trial cache enabled")
+	}
+	if gotPT != wantPT {
+		t.Error("PipeTune JobResult JSON differs with the trial cache enabled")
+	}
+	st := cached.TrainerCacheStats()
+	if st.TrajectoryHits+st.CheckpointHits+st.FlightHits == 0 {
+		t.Fatalf("cache recorded no reuse across the two jobs: %+v", st)
+	}
+	if st.EpochsSaved == 0 {
+		t.Fatalf("cache saved no epochs: %+v", st)
 	}
 }
 
