@@ -50,6 +50,7 @@ import (
 	"fmt"
 	"time"
 
+	"pipetune/internal/cluster"
 	"pipetune/internal/exec"
 	"pipetune/internal/gt"
 	"pipetune/internal/metrics"
@@ -269,7 +270,20 @@ type (
 	MetricsFamily = metrics.Family
 	// MetricsSample is one labelled series within a family.
 	MetricsSample = metrics.Sample
+	// NodeClassStatus is one node class's row in ClusterStatus and
+	// FleetStatus — the simulated heterogeneous cluster's composition.
+	NodeClassStatus = cluster.ClassStatus
 )
+
+// ClusterStatus reports the simulated cluster's node-class composition in
+// the Health body: total node count split into spot and on-demand, plus
+// the per-class rows. Classes is empty on legacy single-class clusters.
+type ClusterStatus struct {
+	Nodes         int               `json:"nodes"`
+	SpotNodes     int               `json:"spotNodes"`
+	OnDemandNodes int               `json:"onDemandNodes"`
+	Classes       []NodeClassStatus `json:"classes,omitempty"`
+}
 
 // Health is the GET /healthz body.
 type Health struct {
@@ -289,6 +303,9 @@ type Health struct {
 	// Fleet reports the remote execution plane — registered workers,
 	// lease depths, drain state. Absent on the local backend.
 	Fleet *FleetStatus `json:"fleet,omitempty"`
+	// Cluster reports the simulated cluster's node-class composition.
+	// Absent when the service runs the legacy single-class cluster.
+	Cluster *ClusterStatus `json:"cluster,omitempty"`
 }
 
 // TenantHealth is one tenant's slice of the service in the Health body.

@@ -85,6 +85,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -94,6 +95,7 @@ import (
 	"time"
 
 	"pipetune"
+	"pipetune/internal/cluster"
 	"pipetune/internal/exec"
 	"pipetune/internal/gt"
 	"pipetune/internal/httpserve"
@@ -127,6 +129,63 @@ func (w weightFlags) Set(s string) error {
 	return nil
 }
 
+// parseNodeClasses turns the -node-classes flag into cluster node classes.
+// "ec2" selects the paper's three EC2 shapes (one node each); otherwise
+// each comma-separated entry reads name:count:cores:memGB[:speed[:hourlyUSD]].
+// spotFraction > 0 splits every class: round(count*fraction) nodes become a
+// "<name>-spot" class at a 70% discount, revoked at ratePerHour per node.
+func parseNodeClasses(spec string, spotFraction, ratePerHour float64) ([]pipetune.NodeClass, error) {
+	if spec == "ec2" {
+		return pipetune.EC2Classes(1, spotFraction, ratePerHour)
+	}
+	if spotFraction < 0 || spotFraction > 1 {
+		return nil, fmt.Errorf("spot fraction %v outside [0,1]", spotFraction)
+	}
+	var out []pipetune.NodeClass
+	for _, entry := range strings.Split(spec, ",") {
+		parts := strings.Split(strings.TrimSpace(entry), ":")
+		if len(parts) < 4 || len(parts) > 6 {
+			return nil, fmt.Errorf("entry %q: want name:count:cores:memGB[:speed[:hourlyUSD]]", entry)
+		}
+		nums := make([]float64, 0, len(parts)-1)
+		for _, p := range parts[1:] {
+			v, err := strconv.ParseFloat(p, 64)
+			if err != nil {
+				return nil, fmt.Errorf("entry %q: %w", entry, err)
+			}
+			nums = append(nums, v)
+		}
+		nc := pipetune.NodeClass{
+			Name:        parts[0],
+			Count:       int(nums[0]),
+			Spec:        cluster.NodeSpec{Cores: int(nums[1]), MemoryGB: int(nums[2])},
+			SpeedFactor: 1,
+		}
+		if len(nums) > 3 {
+			nc.SpeedFactor = nums[3]
+		}
+		if len(nums) > 4 {
+			nc.HourlyUSD = nums[4]
+		}
+		if spot := int(math.Round(float64(nc.Count) * spotFraction)); spot > 0 {
+			sc := nc
+			sc.Name += "-spot"
+			sc.Count = spot
+			sc.HourlyUSD = nc.HourlyUSD * 0.3 // the EC2 fleet's spot discount
+			sc.Spot = true
+			sc.RevocationsPerHour = ratePerHour
+			nc.Count -= spot
+			if nc.Count > 0 {
+				out = append(out, nc)
+			}
+			out = append(out, sc)
+			continue
+		}
+		out = append(out, nc)
+	}
+	return out, nil
+}
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "pipetuned:", err)
@@ -144,7 +203,11 @@ func run() error {
 		gtStoreFlag   = flag.String("gt-store", "sharded", "ground-truth store: sharded (lock-free lookups, per-family shards) or monolith (the classic single-model database)")
 		gtCompactFlag = flag.Int("gt-compact-every", 256, "compact the ground-truth WAL into a snapshot every N records")
 		gtSnapFlag    = flag.Duration("gt-snapshot-interval", 0, "also compact on this interval (0 disables the ticker)")
-		schedFlag     = flag.String("scheduler", pipetune.SchedFIFO, "trial placement policy: fifo, sjf or backfill")
+		schedFlag     = flag.String("scheduler", pipetune.SchedFIFO, "trial placement policy: fifo, sjf, backfill, cheapest or perf-per-dollar")
+		placeFlag     = flag.String("placement", "", "alias of -scheduler under its cost-aware name (takes precedence when set)")
+		classesFlag   = flag.String("node-classes", "", "heterogeneous cluster: 'ec2' (the paper's three EC2 shapes, one node each) or a comma-separated list of name:count:cores:memGB[:speed[:hourlyUSD]]")
+		spotFlag      = flag.Float64("spot-fraction", 0, "fraction of each node class bought as revocable spot capacity (only with -node-classes; ec2 applies it per shape)")
+		revRateFlag   = flag.Float64("spot-revocations-per-hour", 0.5, "per-node Poisson revocation rate for spot capacity")
 		jobPolicyFlag = flag.String("job-policy", pipetune.JobPolicyFIFO, "job dispatch policy across tenants: fifo, fair or sjf")
 		bootstrapFlag = flag.Bool("bootstrap", false, "warm-start the ground truth by profiling the Table 3 catalog")
 		drainFlag     = flag.Duration("drain", httpserve.DefaultShutdownTimeout, "graceful-shutdown drain timeout (HTTP and in-flight remote trials)")
@@ -206,10 +269,21 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown -exec-backend %q (want local or remote)", *execFlag)
 	}
+	policy := *schedFlag
+	if *placeFlag != "" {
+		policy = *placeFlag
+	}
 	opts := []pipetune.Option{
 		pipetune.WithSeed(*seedFlag),
-		pipetune.WithScheduler(*schedFlag),
+		pipetune.WithScheduler(policy),
 		pipetune.WithGroundTruthStore(store),
+	}
+	if *classesFlag != "" {
+		classes, err := parseNodeClasses(*classesFlag, *spotFlag, *revRateFlag)
+		if err != nil {
+			return fmt.Errorf("-node-classes: %w", err)
+		}
+		opts = append(opts, pipetune.WithClusterClasses(classes...))
 	}
 	if *cacheFlag {
 		opts = append(opts, pipetune.WithTrialCache(*cacheBytes))

@@ -1,0 +1,205 @@
+package cluster
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"pipetune/internal/params"
+)
+
+// TestAllocateNamesShortfall: a failed allocation must say what was
+// requested and the best any free node offers — not a bare "insufficient
+// resources" — while errors.Is(err, ErrInsufficient) keeps working.
+func TestAllocateNamesShortfall(t *testing.T) {
+	c, err := New(2, NodeSpec{Cores: 16, MemoryGB: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Allocate(params.SysConfig{Cores: 12, MemoryGB: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Allocate(params.SysConfig{Cores: 10, MemoryGB: 8}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Allocate(params.SysConfig{Cores: 8, MemoryGB: 16})
+	if !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("error %v does not unwrap to ErrInsufficient", err)
+	}
+	var ins *InsufficientError
+	if !errors.As(err, &ins) {
+		t.Fatalf("error %T is not an *InsufficientError", err)
+	}
+	if ins.Requested != (params.SysConfig{Cores: 8, MemoryGB: 16}) || ins.Capacity {
+		t.Fatalf("wrong failure recorded: %+v", ins)
+	}
+	// Node 0 has 4 free cores, node 1 has 6; both have 24 GB free.
+	if ins.FreeCores != 6 || ins.FreeMemoryGB != 24 {
+		t.Fatalf("best-free = %dc/%dGB, want 6c/24GB", ins.FreeCores, ins.FreeMemoryGB)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "requested 8c/16GB") || !strings.Contains(msg, "6c/24GB") {
+		t.Fatalf("message does not name the shortfall: %q", msg)
+	}
+}
+
+// TestFitsErrNamesLargestShape: shape failures (the footprint exceeds
+// every node even empty) are marked Capacity and name the largest node.
+func TestFitsErrNamesLargestShape(t *testing.T) {
+	c := Paper() // 4 nodes of 32c/64GB
+	err := c.FitsErr(params.SysConfig{Cores: 48, MemoryGB: 8})
+	if !errors.Is(err, ErrInsufficient) {
+		t.Fatalf("error %v does not unwrap to ErrInsufficient", err)
+	}
+	var ins *InsufficientError
+	if !errors.As(err, &ins) || !ins.Capacity {
+		t.Fatalf("shape failure not marked Capacity: %+v", err)
+	}
+	if ins.FreeCores != 32 || ins.FreeMemoryGB != 64 {
+		t.Fatalf("largest shape = %dc/%dGB, want 32c/64GB", ins.FreeCores, ins.FreeMemoryGB)
+	}
+	if !strings.Contains(err.Error(), "exceeds every node shape") {
+		t.Fatalf("message does not mark the shape failure: %q", err)
+	}
+	if got := c.FitsErr(params.SysConfig{Cores: 32, MemoryGB: 64}); got != nil {
+		t.Fatalf("full-node footprint rejected: %v", got)
+	}
+}
+
+func TestNewClassesValidation(t *testing.T) {
+	good := NodeClass{Name: "a", Spec: NodeSpec{Cores: 8, MemoryGB: 16}, Count: 1}
+	cases := []struct {
+		name    string
+		classes []NodeClass
+	}{
+		{"empty", nil},
+		{"zero-count", []NodeClass{{Name: "a", Spec: NodeSpec{Cores: 8, MemoryGB: 16}}}},
+		{"bad-spec", []NodeClass{{Name: "a", Spec: NodeSpec{Cores: 0, MemoryGB: 16}, Count: 1}}},
+		{"negative-speed", []NodeClass{func() NodeClass { c := good; c.SpeedFactor = -1; return c }()}},
+		{"negative-price", []NodeClass{func() NodeClass { c := good; c.HourlyUSD = -1; return c }()}},
+		{"negative-rate", []NodeClass{func() NodeClass { c := good; c.RevocationsPerHour = -1; return c }()}},
+	}
+	for _, tc := range cases {
+		if _, err := NewClasses(tc.classes); err == nil {
+			t.Errorf("%s: invalid class set accepted", tc.name)
+		}
+	}
+	if _, err := NewClasses([]NodeClass{good}); err != nil {
+		t.Fatalf("valid class rejected: %v", err)
+	}
+}
+
+// TestEC2FleetComposition: the Figure 1 fleet splits each shape into
+// on-demand and spot classes, prices them at their market rates, and
+// exposes per-node revocation rates for the spot process.
+func TestEC2FleetComposition(t *testing.T) {
+	classes, err := EC2Fleet(2, 0.5, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) != 6 {
+		t.Fatalf("%d classes, want 3 shapes x {on-demand, spot}", len(classes))
+	}
+	c, err := NewClasses(classes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spot, onDemand := c.SpotCounts()
+	if spot != 3 || onDemand != 3 {
+		t.Fatalf("spot/on-demand = %d/%d, want 3/3", spot, onDemand)
+	}
+	rates := c.SpotRevocationRates()
+	if len(rates) != c.NumNodes() {
+		t.Fatalf("%d rates for %d nodes", len(rates), c.NumNodes())
+	}
+	for i, r := range rates {
+		want := 0.0
+		if i%2 == 1 { // each shape contributes one on-demand then one spot node
+			want = 4
+		}
+		if r != want {
+			t.Fatalf("node %d rate %v, want %v", i, r, want)
+		}
+	}
+	// 0.80+0.24 + 2.304+0.6912 + 4.608+1.3824 $/h across the six nodes.
+	if got := c.HourlyUSD(); math.Abs(got-10.0256) > 1e-9 {
+		t.Fatalf("fleet rate %v $/h, want 10.0256", got)
+	}
+	// Spot classes must be strictly cheaper than their on-demand shape.
+	for i := 0; i < len(classes); i += 2 {
+		od, sp := classes[i], classes[i+1]
+		if !sp.Spot || od.Spot || sp.HourlyUSD >= od.HourlyUSD {
+			t.Fatalf("shape %d market split wrong: %+v vs %+v", i/2, od, sp)
+		}
+		if sp.Spec != od.Spec || sp.SpeedFactor != od.SpeedFactor {
+			t.Fatalf("spot class %q changed the hardware: %+v vs %+v", sp.Name, sp, od)
+		}
+	}
+
+	allOD, err := EC2Fleet(1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(allOD) != 3 {
+		t.Fatalf("all-on-demand fleet has %d classes, want 3", len(allOD))
+	}
+	cOD, err := NewClasses(allOD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rates := cOD.SpotRevocationRates(); rates != nil {
+		t.Fatalf("on-demand fleet reports revocation rates: %v", rates)
+	}
+
+	if _, err := EC2Fleet(0, 0, 0); err == nil {
+		t.Error("zero nodes per shape accepted")
+	}
+	if _, err := EC2Fleet(1, 1.5, 0); err == nil {
+		t.Error("spot fraction > 1 accepted")
+	}
+}
+
+// TestStatusReportsClasses: the health/fleet surface mirrors the class
+// declarations, and the legacy constructors surface one anonymous class.
+func TestStatusReportsClasses(t *testing.T) {
+	c, err := NewClasses([]NodeClass{
+		{Name: "a", Spec: NodeSpec{Cores: 8, MemoryGB: 16}, Count: 2, HourlyUSD: 0.5},
+		{Name: "b", Spec: NodeSpec{Cores: 32, MemoryGB: 64}, Count: 1,
+			Spot: true, SpeedFactor: 2, RevocationsPerHour: 1, HourlyUSD: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Status()
+	want := []ClassStatus{
+		{Name: "a", Count: 2, Cores: 8, MemoryGB: 16, SpeedFactor: 1, HourlyUSD: 0.5},
+		{Name: "b", Count: 1, Cores: 32, MemoryGB: 64, Spot: true, SpeedFactor: 2, RevocationsPerHour: 1, HourlyUSD: 1},
+	}
+	if len(st) != len(want) {
+		t.Fatalf("%d status rows, want %d", len(st), len(want))
+	}
+	for i := range want {
+		if st[i] != want[i] {
+			t.Fatalf("status row %d = %+v, want %+v", i, st[i], want[i])
+		}
+	}
+
+	legacy := Paper()
+	lst := legacy.Status()
+	if len(lst) != 1 || lst[0].Name != "" || lst[0].Count != 4 {
+		t.Fatalf("legacy cluster status %+v, want one anonymous 4-node class", lst)
+	}
+	if s, od := legacy.SpotCounts(); s != 0 || od != 4 {
+		t.Fatalf("legacy spot counts %d/%d, want 0/4", s, od)
+	}
+
+	// Allocations name their hosting class.
+	a, err := c.Allocate(params.SysConfig{Cores: 32, MemoryGB: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Class().Name != "b" {
+		t.Fatalf("allocation attributed to class %q, want b", a.Class().Name)
+	}
+}

@@ -1,22 +1,31 @@
-// Package cluster models the deep-learning cluster of §5.1 and §7.1.1: N
-// nodes with C cores and M GB of memory each, on which HPT jobs are
-// scheduled FIFO. It provides the resource allocator used to place training
-// trials; the discrete-event queueing simulation for the multi-tenancy
-// experiments (§7.4) is served by the shared internal/sched engine, for
-// which SimulateFIFO remains as a compatibility wrapper and SchedPool
-// exports the cluster's node shapes.
+// Package cluster models the deep-learning cluster of §5.1 and §7.1.1: a
+// typed node plane on which HPT jobs are scheduled. The homogeneous
+// testbed of the paper (N nodes with C cores and M GB each) is the
+// single-class special case; NewClasses builds heterogeneous fleets whose
+// classes carry distinct core/memory shapes, relative speed, pricing and —
+// for spot capacity — a revocation rate, seeded from the three ec2
+// instance shapes of Figure 1. It provides the resource allocator used to
+// place training trials; the discrete-event queueing simulation for the
+// multi-tenancy experiments (§7.4) is served by the shared internal/sched
+// engine, for which SimulateFIFO remains as a compatibility wrapper and
+// SchedPool exports the cluster's node shapes and classes.
 package cluster
 
 import (
 	"errors"
 	"fmt"
+	"math"
 
+	"pipetune/internal/ec2"
+	"pipetune/internal/energy"
 	"pipetune/internal/params"
 	"pipetune/internal/sched"
 	"pipetune/internal/xrand"
 )
 
 // ErrInsufficient is returned when no node can satisfy an allocation.
+// Failures carry an *InsufficientError wrapping it, so errors.Is keeps
+// working while the message names what did not fit.
 var ErrInsufficient = errors.New("cluster: insufficient resources")
 
 // NodeSpec describes one node's capacity.
@@ -25,31 +34,154 @@ type NodeSpec struct {
 	MemoryGB int `json:"memoryGB"`
 }
 
+// NodeClass is one class of a (possibly heterogeneous) cluster: Count
+// nodes sharing a shape, a relative speed, a price and — when Spot — a
+// revocation process.
+type NodeClass struct {
+	// Name labels the class in placement decisions, metrics and the API.
+	// The legacy homogeneous constructors use the empty name, which keeps
+	// their records and wire bodies byte-identical to the pre-class era.
+	Name string   `json:"name"`
+	Spec NodeSpec `json:"spec"`
+	// Count is the number of nodes of this class.
+	Count int `json:"count"`
+	// SpeedFactor scales trial throughput relative to the reference node
+	// (m4.4xlarge = 1): a trial's simulated duration divides by it. 0 is
+	// normalised to 1 at construction.
+	SpeedFactor float64 `json:"speedFactor,omitempty"`
+	// HourlyUSD is the class's per-node rate — on-demand or spot,
+	// whichever market the class is provisioned from.
+	HourlyUSD float64 `json:"hourlyUSD,omitempty"`
+	// Spot marks revocable capacity; RevocationsPerHour is each node's
+	// Poisson revocation rate in simulated hours.
+	Spot               bool    `json:"spot,omitempty"`
+	RevocationsPerHour float64 `json:"revocationsPerHour,omitempty"`
+	// PerfScale scales PMU profile rates relative to the reference node —
+	// reporting metadata for per-class performance accounting. 0 is
+	// normalised to 1.
+	PerfScale float64 `json:"perfScale,omitempty"`
+	// Power is the class's power model; the zero value selects
+	// energy.DefaultPowerModel at use sites (experiments' fleet-energy
+	// accounting).
+	Power energy.PowerModel `json:"-"`
+}
+
+// PowerModel returns the class's power model, defaulting when unset.
+func (nc NodeClass) PowerModel() energy.PowerModel {
+	if nc.Power == (energy.PowerModel{}) {
+		return energy.DefaultPowerModel()
+	}
+	return nc.Power
+}
+
+// ClassStatus is one class's row in fleet/health reporting: the node-class
+// composition surfaced by /healthz and GET /v1/fleet.
+type ClassStatus struct {
+	Name               string  `json:"name"`
+	Count              int     `json:"count"`
+	Cores              int     `json:"cores"`
+	MemoryGB           int     `json:"memoryGB"`
+	Spot               bool    `json:"spot,omitempty"`
+	SpeedFactor        float64 `json:"speedFactor,omitempty"`
+	HourlyUSD          float64 `json:"hourlyUSD,omitempty"`
+	RevocationsPerHour float64 `json:"revocationsPerHour,omitempty"`
+}
+
 // node tracks live usage against its spec.
 type node struct {
 	spec      NodeSpec
+	class     int // index into classes
 	usedCores int
 	usedMemGB int
 }
 
-// Cluster is a fixed set of nodes with first-fit allocation.
+// Cluster is a fixed set of nodes with first-fit allocation, grouped into
+// classes. Node order is class declaration order, which makes first-fit
+// placement on a single-class cluster identical to the pre-class
+// allocator.
 type Cluster struct {
-	nodes []node
+	nodes   []node
+	classes []NodeClass
 }
 
-// New builds a homogeneous cluster.
+// New builds a homogeneous cluster: one unnamed class, speed 1, free —
+// the pre-class behaviour, bit-identical in every record and wire body.
 func New(numNodes int, spec NodeSpec) (*Cluster, error) {
-	if numNodes < 1 {
-		return nil, fmt.Errorf("cluster: %d nodes invalid", numNodes)
+	return NewClasses([]NodeClass{{Spec: spec, Count: numNodes}})
+}
+
+// NewClasses builds a cluster from node classes, in declaration order.
+func NewClasses(classes []NodeClass) (*Cluster, error) {
+	if len(classes) == 0 {
+		return nil, errors.New("cluster: no node classes")
 	}
-	if spec.Cores < 1 || spec.MemoryGB < 1 {
-		return nil, fmt.Errorf("cluster: invalid node spec %+v", spec)
-	}
-	c := &Cluster{nodes: make([]node, numNodes)}
-	for i := range c.nodes {
-		c.nodes[i].spec = spec
+	c := &Cluster{classes: make([]NodeClass, len(classes))}
+	for ci, nc := range classes {
+		if nc.Count < 1 {
+			return nil, fmt.Errorf("cluster: class %q: %d nodes invalid", nc.Name, nc.Count)
+		}
+		if nc.Spec.Cores < 1 || nc.Spec.MemoryGB < 1 {
+			return nil, fmt.Errorf("cluster: class %q: invalid node spec %+v", nc.Name, nc.Spec)
+		}
+		if nc.SpeedFactor < 0 || nc.RevocationsPerHour < 0 || nc.HourlyUSD < 0 {
+			return nil, fmt.Errorf("cluster: class %q: negative speed, rate or price", nc.Name)
+		}
+		if nc.SpeedFactor == 0 {
+			nc.SpeedFactor = 1
+		}
+		if nc.PerfScale == 0 {
+			nc.PerfScale = 1
+		}
+		c.classes[ci] = nc
+		for i := 0; i < nc.Count; i++ {
+			c.nodes = append(c.nodes, node{spec: nc.Spec, class: ci})
+		}
 	}
 	return c, nil
+}
+
+// EC2Fleet builds the Figure 1 heterogeneous fleet: nodesPerShape nodes of
+// each of the three instance shapes, with spotFraction of each shape
+// (rounded) provisioned from the spot market at its discounted rate and
+// revocationsPerHour per-node revocation rate. spotFraction 0 yields a
+// purely on-demand fleet.
+func EC2Fleet(nodesPerShape int, spotFraction, revocationsPerHour float64) ([]NodeClass, error) {
+	if nodesPerShape < 1 {
+		return nil, fmt.Errorf("cluster: %d nodes per shape invalid", nodesPerShape)
+	}
+	if spotFraction < 0 || spotFraction > 1 {
+		return nil, fmt.Errorf("cluster: spot fraction %v outside [0,1]", spotFraction)
+	}
+	var out []NodeClass
+	for _, it := range ec2.All() {
+		spec, err := ec2.SpecFor(it)
+		if err != nil {
+			return nil, err
+		}
+		shape := NodeSpec{Cores: spec.VCPUs, MemoryGB: spec.MemoryGB}
+		spot := int(math.Round(float64(nodesPerShape) * spotFraction))
+		if onDemand := nodesPerShape - spot; onDemand > 0 {
+			out = append(out, NodeClass{
+				Name:        it.String(),
+				Spec:        shape,
+				Count:       onDemand,
+				SpeedFactor: spec.SpeedFactor,
+				HourlyUSD:   spec.HourlyUSD,
+			})
+		}
+		if spot > 0 {
+			out = append(out, NodeClass{
+				Name:               it.String() + "-spot",
+				Spec:               shape,
+				Count:              spot,
+				SpeedFactor:        spec.SpeedFactor,
+				HourlyUSD:          spec.SpotHourlyUSD,
+				Spot:               true,
+				RevocationsPerHour: revocationsPerHour,
+			})
+		}
+	}
+	return out, nil
 }
 
 // Paper returns the §7.1.1 distributed testbed: 4 nodes of quad-socket
@@ -76,12 +208,83 @@ func SingleNode() *Cluster {
 // NumNodes returns the node count.
 func (c *Cluster) NumNodes() int { return len(c.nodes) }
 
-// Clone returns an empty (fully free) cluster with the same node shapes —
-// used by schedulers that need a scratch occupancy model.
+// Classes returns the cluster's node classes in declaration order.
+func (c *Cluster) Classes() []NodeClass {
+	out := make([]NodeClass, len(c.classes))
+	copy(out, c.classes)
+	return out
+}
+
+// Status reports the node-class composition for health/fleet surfaces.
+func (c *Cluster) Status() []ClassStatus {
+	out := make([]ClassStatus, len(c.classes))
+	for i, nc := range c.classes {
+		out[i] = ClassStatus{
+			Name:               nc.Name,
+			Count:              nc.Count,
+			Cores:              nc.Spec.Cores,
+			MemoryGB:           nc.Spec.MemoryGB,
+			Spot:               nc.Spot,
+			SpeedFactor:        nc.SpeedFactor,
+			HourlyUSD:          nc.HourlyUSD,
+			RevocationsPerHour: nc.RevocationsPerHour,
+		}
+	}
+	return out
+}
+
+// SpotCounts returns the spot and on-demand node counts.
+func (c *Cluster) SpotCounts() (spot, onDemand int) {
+	for _, nc := range c.classes {
+		if nc.Spot {
+			spot += nc.Count
+		} else {
+			onDemand += nc.Count
+		}
+	}
+	return spot, onDemand
+}
+
+// SpotRevocationRates returns every node's revocation rate (per simulated
+// hour; 0 for on-demand nodes) in node order, or nil when the cluster has
+// no revocable capacity — the input to an ec2.SpotProcess.
+func (c *Cluster) SpotRevocationRates() []float64 {
+	any := false
+	rates := make([]float64, len(c.nodes))
+	for i, n := range c.nodes {
+		nc := c.classes[n.class]
+		if nc.Spot && nc.RevocationsPerHour > 0 {
+			rates[i] = nc.RevocationsPerHour
+			any = true
+		}
+	}
+	if !any {
+		return nil
+	}
+	return rates
+}
+
+// HourlyUSD is the fleet's aggregate per-hour price: what keeping every
+// node provisioned for one hour costs.
+func (c *Cluster) HourlyUSD() float64 {
+	total := 0.0
+	for _, nc := range c.classes {
+		total += float64(nc.Count) * nc.HourlyUSD
+	}
+	return total
+}
+
+// Clone returns an empty (fully free) cluster with the same node shapes
+// and classes — used by schedulers that need a scratch occupancy model.
 func (c *Cluster) Clone() *Cluster {
-	out := &Cluster{nodes: make([]node, len(c.nodes))}
+	out := &Cluster{
+		nodes:   make([]node, len(c.nodes)),
+		classes: make([]NodeClass, len(c.classes)),
+	}
+	copy(out.classes, c.classes)
 	for i := range c.nodes {
 		out.nodes[i].spec = c.nodes[i].spec
+		out.nodes[i].class = c.nodes[i].class
 	}
 	return out
 }
@@ -104,6 +307,36 @@ func (c *Cluster) FreeCores() int {
 	return total
 }
 
+// InsufficientError is a failed allocation or fit check: it names what was
+// requested and the best any node could offer, so the operator sees the
+// shortfall instead of a bare "insufficient resources". It wraps
+// ErrInsufficient, keeping errors.Is checks working.
+type InsufficientError struct {
+	// Requested is the footprint that did not fit.
+	Requested params.SysConfig
+	// FreeCores/FreeMemoryGB are the most free cores and memory any single
+	// node offers right now (for Allocate failures), or the largest node
+	// shape (for Fits failures, where Capacity is true).
+	FreeCores    int
+	FreeMemoryGB int
+	// Capacity marks a shape failure: the footprint exceeds every node
+	// even on an empty cluster.
+	Capacity bool
+}
+
+// Error implements error.
+func (e *InsufficientError) Error() string {
+	if e.Capacity {
+		return fmt.Sprintf("cluster: insufficient resources: %dc/%dGB exceeds every node shape (largest node %dc/%dGB)",
+			e.Requested.Cores, e.Requested.MemoryGB, e.FreeCores, e.FreeMemoryGB)
+	}
+	return fmt.Sprintf("cluster: insufficient resources: requested %dc/%dGB, best free node offers %dc/%dGB",
+		e.Requested.Cores, e.Requested.MemoryGB, e.FreeCores, e.FreeMemoryGB)
+}
+
+// Unwrap links the failure to ErrInsufficient.
+func (e *InsufficientError) Unwrap() error { return ErrInsufficient }
+
 // Alloc is a granted reservation. Release it exactly once.
 type Alloc struct {
 	c        *Cluster
@@ -114,6 +347,9 @@ type Alloc struct {
 
 // Node returns the index of the node hosting the allocation.
 func (a *Alloc) Node() int { return a.node }
+
+// Class returns the node class hosting the allocation.
+func (a *Alloc) Class() NodeClass { return a.c.classes[a.c.nodes[a.node].class] }
 
 // Sys returns the reserved resources.
 func (a *Alloc) Sys() params.SysConfig { return a.sys }
@@ -133,31 +369,56 @@ func (a *Alloc) Release() error {
 
 // Allocate reserves sys on the first node with enough free capacity.
 // Trials never span nodes (BigDL pins each trial's executors together).
+// Node order is class declaration order, so on a single-class cluster
+// this is exactly the pre-class first-fit. Failure returns an
+// *InsufficientError naming the requested footprint against the best free
+// node.
 func (c *Cluster) Allocate(sys params.SysConfig) (*Alloc, error) {
 	if err := sys.Validate(); err != nil {
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
+	bestCores, bestMem := 0, 0
 	for i := range c.nodes {
 		n := &c.nodes[i]
-		if n.spec.Cores-n.usedCores >= sys.Cores && n.spec.MemoryGB-n.usedMemGB >= sys.MemoryGB {
+		freeCores, freeMem := n.spec.Cores-n.usedCores, n.spec.MemoryGB-n.usedMemGB
+		if freeCores >= sys.Cores && freeMem >= sys.MemoryGB {
 			n.usedCores += sys.Cores
 			n.usedMemGB += sys.MemoryGB
 			return &Alloc{c: c, node: i, sys: sys}, nil
 		}
+		if freeCores > bestCores {
+			bestCores = freeCores
+		}
+		if freeMem > bestMem {
+			bestMem = freeMem
+		}
 	}
-	return nil, ErrInsufficient
+	return nil, &InsufficientError{Requested: sys, FreeCores: bestCores, FreeMemoryGB: bestMem}
 }
 
-// SchedPool exports the cluster's node shapes as an empty internal/sched
-// occupancy pool — the occupancy model the event-driven trial scheduler
-// places footprints on (first-fit, never spanning nodes, exactly like
-// Allocate).
+// SchedPool exports the cluster's node shapes and classes as an empty
+// internal/sched occupancy pool — the occupancy model the event-driven
+// trial scheduler places footprints on (first-fit, never spanning nodes,
+// exactly like Allocate), with per-node class metadata for cost-aware
+// placement and spot revocation.
 func (c *Cluster) SchedPool() *sched.Pool {
 	caps := make([]sched.NodeCap, len(c.nodes))
+	nodeClass := make([]int, len(c.nodes))
 	for i, n := range c.nodes {
 		caps[i] = sched.NodeCap{Cores: n.spec.Cores, MemoryGB: n.spec.MemoryGB}
+		nodeClass[i] = n.class
 	}
-	p, err := sched.NewPool(caps)
+	classes := make([]sched.ClassCap, len(c.classes))
+	for i, nc := range c.classes {
+		classes[i] = sched.ClassCap{
+			Name:               nc.Name,
+			Spot:               nc.Spot,
+			SpeedFactor:        nc.SpeedFactor,
+			HourlyUSD:          nc.HourlyUSD,
+			RevocationsPerHour: nc.RevocationsPerHour,
+		}
+	}
+	p, err := sched.NewPoolClasses(caps, nodeClass, classes)
 	if err != nil {
 		// Cluster construction already validated the shapes.
 		panic(err)
@@ -167,12 +428,26 @@ func (c *Cluster) SchedPool() *sched.Pool {
 
 // Fits reports whether sys could ever be allocated on an empty cluster.
 func (c *Cluster) Fits(sys params.SysConfig) bool {
+	return c.FitsErr(sys) == nil
+}
+
+// FitsErr is Fits with a structured failure: nil when sys fits some node
+// shape, otherwise an *InsufficientError naming the request against the
+// largest node.
+func (c *Cluster) FitsErr(sys params.SysConfig) error {
+	maxCores, maxMem := 0, 0
 	for _, n := range c.nodes {
 		if n.spec.Cores >= sys.Cores && n.spec.MemoryGB >= sys.MemoryGB {
-			return true
+			return nil
+		}
+		if n.spec.Cores > maxCores {
+			maxCores = n.spec.Cores
+		}
+		if n.spec.MemoryGB > maxMem {
+			maxMem = n.spec.MemoryGB
 		}
 	}
-	return false
+	return &InsufficientError{Requested: sys, FreeCores: maxCores, FreeMemoryGB: maxMem, Capacity: true}
 }
 
 // Job is one unit of work for the FIFO queueing simulation: it arrives at

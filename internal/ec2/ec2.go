@@ -37,9 +37,16 @@ func (t InstanceType) String() string {
 // Spec holds the pricing-relevant shape of an instance.
 type Spec struct {
 	VCPUs int
+	// MemoryGB is the instance's RAM, the second axis of the cluster
+	// plane's node shapes.
+	MemoryGB int
 	// HourlyUSD is the on-demand us-east-1 rate at the time of the paper
 	// (2020).
 	HourlyUSD float64
+	// SpotHourlyUSD is the corresponding spot-market rate (~70% below
+	// on-demand, the era's typical discount). Spot capacity is revocable:
+	// see SpotProcess.
+	SpotHourlyUSD float64
 	// SpeedFactor scales trial throughput relative to m4.4xlarge = 1:
 	// larger instances run more trials concurrently.
 	SpeedFactor float64
@@ -49,11 +56,11 @@ type Spec struct {
 func SpecFor(t InstanceType) (Spec, error) {
 	switch t {
 	case M44XLarge:
-		return Spec{VCPUs: 16, HourlyUSD: 0.80, SpeedFactor: 1.0}, nil
+		return Spec{VCPUs: 16, MemoryGB: 64, HourlyUSD: 0.80, SpotHourlyUSD: 0.24, SpeedFactor: 1.0}, nil
 	case M512XLarge:
-		return Spec{VCPUs: 48, HourlyUSD: 2.304, SpeedFactor: 2.6}, nil
+		return Spec{VCPUs: 48, MemoryGB: 192, HourlyUSD: 2.304, SpotHourlyUSD: 0.6912, SpeedFactor: 2.6}, nil
 	case M524XLarge:
-		return Spec{VCPUs: 96, HourlyUSD: 4.608, SpeedFactor: 4.8}, nil
+		return Spec{VCPUs: 96, MemoryGB: 384, HourlyUSD: 4.608, SpotHourlyUSD: 1.3824, SpeedFactor: 4.8}, nil
 	default:
 		return Spec{}, fmt.Errorf("ec2: unknown instance %v", t)
 	}

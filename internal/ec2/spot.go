@@ -1,0 +1,88 @@
+package ec2
+
+// The spot-revocation process: the market-side half of the revocable
+// cluster plane. Each spot node owns an independent Poisson stream of
+// revocation instants (exponentially distributed gaps, the standard
+// memoryless interruption model), derived from a per-node xrand stream so
+// the sequence is deterministic for a (seed, node) pair and — crucially —
+// independent of when and how often the scheduler queries it. The
+// discrete-event engine consumes the stream lazily: it only asks for the
+// next revocation after the current simulated instant, so a node that
+// never hosts work never materialises more than one pending event.
+
+import (
+	"math"
+	"sort"
+
+	"pipetune/internal/xrand"
+)
+
+// DefaultOutageSeconds is how long a revoked node stays down before its
+// replacement joins the pool: the spot market's two-minute interruption
+// notice plus provisioning of a substitute instance.
+const DefaultOutageSeconds = 120.0
+
+// spotNode is one node's memoised revocation sequence.
+type spotNode struct {
+	rate  float64 // revocations per simulated hour; <= 0 = never revoked
+	rng   *xrand.Source
+	times []float64 // ascending revocation instants generated so far
+}
+
+// SpotProcess generates deterministic per-node revocation instants. It is
+// not safe for concurrent use — it belongs to a single discrete-event
+// simulation, which is single-threaded by construction.
+type SpotProcess struct {
+	outage float64
+	nodes  []spotNode
+}
+
+// NewSpotProcess builds the process for a fleet: ratesPerHour[i] is node
+// i's revocation rate (0 for on-demand nodes), outageSeconds the
+// replacement delay after each revocation (<= 0 selects
+// DefaultOutageSeconds). Every node's stream is seeded independently from
+// the master seed, so adding nodes never perturbs existing sequences.
+func NewSpotProcess(seed uint64, ratesPerHour []float64, outageSeconds float64) *SpotProcess {
+	if outageSeconds <= 0 {
+		outageSeconds = DefaultOutageSeconds
+	}
+	p := &SpotProcess{outage: outageSeconds, nodes: make([]spotNode, len(ratesPerHour))}
+	for i, r := range ratesPerHour {
+		p.nodes[i].rate = r
+		if r > 0 {
+			p.nodes[i].rng = xrand.New(seed ^ (uint64(i)+1)*0x9e3779b97f4a7c15)
+		}
+	}
+	return p
+}
+
+// NextAfter returns node's first revocation instant strictly after t, or
+// +Inf when the node is never revoked. The memoised sequence makes the
+// answer independent of query order: asking about a later t first still
+// yields the same instants for earlier queries.
+func (p *SpotProcess) NextAfter(node int, t float64) float64 {
+	if node < 0 || node >= len(p.nodes) {
+		return math.Inf(1)
+	}
+	n := &p.nodes[node]
+	if n.rate <= 0 {
+		return math.Inf(1)
+	}
+	meanGap := 3600 / n.rate
+	last := 0.0
+	if len(n.times) > 0 {
+		last = n.times[len(n.times)-1]
+	}
+	for last <= t {
+		last += n.rng.ExpFloat64() * meanGap
+		n.times = append(n.times, last)
+	}
+	i := sort.SearchFloat64s(n.times, t)
+	for i < len(n.times) && n.times[i] <= t {
+		i++
+	}
+	return n.times[i]
+}
+
+// OutageSeconds is the replacement delay after a revocation.
+func (p *SpotProcess) OutageSeconds() float64 { return p.outage }

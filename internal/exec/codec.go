@@ -311,8 +311,9 @@ func (r *wireReader) finish() error {
 
 // codecVersion is the stream codec layout version, carried in Hello.
 // Version 2 added the trainer cache budget and the prefix-cache key hint
-// to assignments — an incompatible grant layout change.
-const codecVersion = 2
+// to assignments; version 3 the preferred node class — both incompatible
+// grant layout changes.
+const codecVersion = 3
 
 func encodeHello(w *wirebuf, name string, capacity int) {
 	w.u8(codecVersion) // bumped only on incompatible layout changes
@@ -374,6 +375,7 @@ func appendAssignment(w *wirebuf, leaseID string, attempt int, t *Trial) {
 	w.u64(t.Trainer.DataSeed)
 	w.uvarint(uint64(t.Trainer.CacheBytes))
 	w.str(t.CacheKey)
+	w.str(t.Class)
 }
 
 func readAssignment(r *wireReader, asg *Assignment) {
@@ -393,6 +395,7 @@ func readAssignment(r *wireReader, asg *Assignment) {
 	}
 	asg.Trainer.CacheBytes = int64(r.uvarint())
 	asg.CacheKey = r.str()
+	asg.Class = r.str()
 }
 
 // decodeGrant decodes a batch of assignments.

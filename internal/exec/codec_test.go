@@ -28,6 +28,7 @@ func sampleAssignment() Assignment {
 		StreamEpochs: true,
 		Trainer:      TrainerConfig{TrainSize: 96, TestSize: 48, Load: 1.5, DataSeed: 0x0da7a5eed, CacheBytes: 32 << 20},
 		CacheKey:     "v1|0/0|229351022/96/48|32/3fa999999999999a/3fc999999999999a/64|2a",
+		Class:        "m5.12xlarge-spot",
 	}
 }
 
@@ -161,6 +162,7 @@ func TestAssignmentRoundTrip(t *testing.T) {
 			Seed:     asg.Seed,
 			Trainer:  asg.Trainer,
 			CacheKey: asg.CacheKey,
+			Class:    asg.Class,
 		}
 		if asg.StreamEpochs {
 			tr.Observer = trainer.ObserverFunc(func(uint64, workload.Workload, params.Hyper, trainer.EpochStats) *params.SysConfig { return nil })

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"pipetune/internal/cluster"
 	"pipetune/internal/metrics"
 	"pipetune/internal/trainer"
 )
@@ -187,6 +188,12 @@ type Remote struct {
 	closed       bool
 	stopReaper   chan struct{}
 	reaperDone   chan struct{}
+
+	// Cluster composition for health surfaces, set once at service wiring
+	// (SetClusterStatus) and copied into every Fleet snapshot.
+	classes       []cluster.ClassStatus
+	spotNodes     int
+	onDemandNodes int
 
 	// met holds the resolved metrics handles; completed/requeued counts
 	// live in the registry (the single source FleetStatus and /metrics
@@ -452,6 +459,7 @@ func (r *Remote) NextLease(workerID string, wait time.Duration) (*Assignment, er
 				StreamEpochs: l.trial.Observer != nil,
 				Trainer:      l.trial.Trainer,
 				CacheKey:     l.trial.CacheKey,
+				Class:        l.trial.Class,
 			}
 			r.met.leaseGrants.Inc()
 			return asg, nil
@@ -789,6 +797,16 @@ func (r *Remote) wireLabel() string {
 	}
 }
 
+// SetClusterStatus records the simulated cluster's node-class composition
+// for health surfaces (GET /healthz and GET /v1/fleet). The embedding
+// service wires it once at startup, before the backend serves requests.
+func (r *Remote) SetClusterStatus(classes []cluster.ClassStatus, spot, onDemand int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.classes = append([]cluster.ClassStatus(nil), classes...)
+	r.spotNodes, r.onDemandNodes = spot, onDemand
+}
+
 // Fleet snapshots the execution plane for health surfaces, workers
 // sorted by id (evicted entries included — an operator debugging a lost
 // worker wants to see it).
@@ -803,6 +821,9 @@ func (r *Remote) Fleet() FleetStatus {
 		LeasedTrials:    r.leasedCountLocked(),
 		CompletedTrials: int(r.met.completed.Value()),
 		RequeuedTrials:  int(r.met.requeues.Value()),
+		Classes:         append([]cluster.ClassStatus(nil), r.classes...),
+		SpotNodes:       r.spotNodes,
+		OnDemandNodes:   r.onDemandNodes,
 	}
 	for _, w := range r.workers {
 		fs.Workers = append(fs.Workers, WorkerStatus{

@@ -3,6 +3,7 @@ package exec
 import (
 	"time"
 
+	"pipetune/internal/cluster"
 	"pipetune/internal/dataset"
 	"pipetune/internal/params"
 	"pipetune/internal/perf"
@@ -113,6 +114,10 @@ type Assignment struct {
 	// CacheKey is the daemon-derived trial prefix cache key hint for the
 	// worker's local cache; empty when the daemon runs uncached.
 	CacheKey string `json:"cacheKey,omitempty"`
+	// Class is the daemon's preferred node class for the trial (cost-aware
+	// placement hint on heterogeneous clusters); empty on single-class
+	// clusters.
+	Class string `json:"class,omitempty"`
 }
 
 // EpochWire is one epoch-boundary observation on the wire. The embedded
@@ -219,4 +224,9 @@ type FleetStatus struct {
 	CompletedTrials int            `json:"completedTrials"`
 	RequeuedTrials  int            `json:"requeuedTrials"`
 	Workers         []WorkerStatus `json:"workers,omitempty"`
+	// Cluster composition: the simulated node classes trials are placed on,
+	// with spot/on-demand counts. Empty on legacy single-class clusters.
+	Classes       []cluster.ClassStatus `json:"classes,omitempty"`
+	SpotNodes     int                   `json:"spotNodes,omitempty"`
+	OnDemandNodes int                   `json:"onDemandNodes,omitempty"`
 }

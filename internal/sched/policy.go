@@ -3,14 +3,31 @@ package sched
 import (
 	"fmt"
 	"math"
+
+	"pipetune/internal/params"
 )
 
 // Policy names accepted by ByName (and re-exported by the pipetune facade).
 const (
-	NameFIFO     = "fifo"
-	NameSJF      = "sjf"
-	NameBackfill = "backfill"
+	NameFIFO          = "fifo"
+	NameSJF           = "sjf"
+	NameBackfill      = "backfill"
+	NameCheapest      = "cheapest"
+	NamePerfPerDollar = "perf-per-dollar"
 )
+
+// ClassInfo is one node class's live view inside a PickContext.
+type ClassInfo struct {
+	ClassCap
+	// Nodes is the class's node count; UpNodes excludes revoked spot nodes
+	// awaiting replacement.
+	Nodes   int
+	UpNodes int
+	// FreeCores/FreeMemoryGB aggregate the class's currently unreserved
+	// capacity across its up nodes.
+	FreeCores    int
+	FreeMemoryGB int
+}
 
 // PickContext is the read-only view a Policy decides from. The engine calls
 // Pick only when at least one admission slot is free; the policy chooses
@@ -21,13 +38,27 @@ type PickContext struct {
 	// Queue holds the waiting tasks in submission order.
 	Queue []Task
 	// FitsNow reports whether Queue[i]'s footprint could be placed
-	// immediately.
+	// immediately (on any up node of any class).
 	FitsNow func(i int) bool
 	// EarliestStart returns the earliest time Queue[i] could start if no
 	// further tasks were admitted, assuming the running set releases its
 	// resources at the known completion times. It returns +Inf only if the
 	// task could never fit (which Submit already rejects).
 	EarliestStart func(i int) float64
+
+	// The cost-aware placement axis. Classes is empty on classless pools,
+	// in which case the per-class closures are nil.
+	//
+	// Classes lists the pool's node classes with live free capacity.
+	Classes []ClassInfo
+	// ClassFits reports whether Queue[i] currently fits a node of class c.
+	ClassFits func(i, c int) bool
+	// ClassDuration is Queue[i]'s predicted runtime on class c: its
+	// costmodel-derived Duration divided by the class speed factor.
+	ClassDuration func(i, c int) float64
+	// ClassCost prices Queue[i] on class c in dollars:
+	// ClassDuration(i,c)/3600 × the class's hourly rate.
+	ClassCost func(i, c int) float64
 }
 
 // Policy selects the next queued task to place on the cluster.
@@ -36,6 +67,15 @@ type PickContext struct {
 type Policy interface {
 	Name() string
 	Pick(ctx *PickContext) int
+}
+
+// ClassChooser is the optional second placement axis: a Policy that also
+// chooses *which node class* the picked task lands on. The engine consults
+// it after Pick on pools with classes; returning -1 (or not implementing
+// the interface) falls back to global first-fit across all nodes, the
+// classless behaviour.
+type ClassChooser interface {
+	ChooseClass(ctx *PickContext, i int) int
 }
 
 // ByName resolves a policy from its name.
@@ -47,9 +87,13 @@ func ByName(name string) (Policy, error) {
 		return SJF(), nil
 	case NameBackfill:
 		return Backfill(), nil
+	case NameCheapest:
+		return Cheapest(), nil
+	case NamePerfPerDollar:
+		return PerfPerDollar(), nil
 	default:
-		return nil, fmt.Errorf("sched: unknown policy %q (want %s, %s or %s)",
-			name, NameFIFO, NameSJF, NameBackfill)
+		return nil, fmt.Errorf("sched: unknown policy %q (want %s, %s, %s, %s or %s)",
+			name, NameFIFO, NameSJF, NameBackfill, NameCheapest, NamePerfPerDollar)
 	}
 }
 
@@ -134,9 +178,102 @@ func (backfillPolicy) Pick(ctx *PickContext) int {
 	return -1
 }
 
+// -------------------------------------------------- cost-aware placement ---
+
+// Cheapest returns FIFO admission with cost-aware class choice: the oldest
+// task starts as soon as it fits anywhere (head-of-line blocking, like
+// FIFO), but lands on the node class with the lowest predicted dollar cost
+// for it — duration/speed × hourly rate — among the classes with room
+// right now. Ties resolve to the first class in declaration order. On a
+// single-class (or classless) pool this is exactly FIFO.
+func Cheapest() Policy { return cheapestPolicy{} }
+
+type cheapestPolicy struct{}
+
+func (cheapestPolicy) Name() string { return NameCheapest }
+
+func (cheapestPolicy) Pick(ctx *PickContext) int {
+	if len(ctx.Queue) == 0 || !ctx.FitsNow(0) {
+		return -1
+	}
+	return 0
+}
+
+func (cheapestPolicy) ChooseClass(ctx *PickContext, i int) int {
+	best, bestCost := -1, 0.0
+	for c := range ctx.Classes {
+		if !ctx.ClassFits(i, c) {
+			continue
+		}
+		cost := ctx.ClassCost(i, c)
+		if best < 0 || cost < bestCost {
+			best, bestCost = c, cost
+		}
+	}
+	return best
+}
+
+// PerfPerDollar returns FIFO admission with throughput-per-dollar class
+// choice: among the classes with room, the picked task lands on the one
+// maximising SpeedFactor/HourlyUSD (a free class — hourly rate 0 — is
+// infinitely good and always preferred). Ties resolve to the first class
+// in declaration order; single-class pools degrade to FIFO.
+func PerfPerDollar() Policy { return perfPerDollarPolicy{} }
+
+type perfPerDollarPolicy struct{}
+
+func (perfPerDollarPolicy) Name() string { return NamePerfPerDollar }
+
+func (perfPerDollarPolicy) Pick(ctx *PickContext) int {
+	if len(ctx.Queue) == 0 || !ctx.FitsNow(0) {
+		return -1
+	}
+	return 0
+}
+
+func (perfPerDollarPolicy) ChooseClass(ctx *PickContext, i int) int {
+	best, bestVal := -1, 0.0
+	for c := range ctx.Classes {
+		if !ctx.ClassFits(i, c) {
+			continue
+		}
+		cc := ctx.Classes[c].ClassCap
+		val := math.Inf(1)
+		if cc.HourlyUSD > 0 {
+			val = cc.SpeedFactor / cc.HourlyUSD
+		}
+		if best < 0 || val > bestVal {
+			best, bestVal = c, val
+		}
+	}
+	return best
+}
+
+// PreferredClass evaluates a ClassChooser for one footprint on an idle
+// pool: the class it would choose with every node free. The tuning layer
+// stamps this deterministic pre-compute hint on exec assignments; actual
+// placement is re-decided at simulated dispatch against live occupancy.
+// Returns "" on classless pools or when nothing fits.
+func PreferredClass(pool *Pool, ch ClassChooser, fp params.SysConfig, duration float64) string {
+	if pool == nil || pool.NumClasses() == 0 {
+		return ""
+	}
+	e := New(pool.clone(), nil, 0)
+	e.queue = []*queued{{task: Task{Sys: fp, Duration: duration}, attempt: 1}}
+	c := ch.ChooseClass(e.pickContext(), 0)
+	if c < 0 {
+		return ""
+	}
+	return pool.classes[c].Name
+}
+
 // Compile-time interface checks.
 var (
-	_ Policy = fifoPolicy{}
-	_ Policy = sjfPolicy{}
-	_ Policy = backfillPolicy{}
+	_ Policy       = fifoPolicy{}
+	_ Policy       = sjfPolicy{}
+	_ Policy       = backfillPolicy{}
+	_ Policy       = cheapestPolicy{}
+	_ Policy       = perfPerDollarPolicy{}
+	_ ClassChooser = cheapestPolicy{}
+	_ ClassChooser = perfPerDollarPolicy{}
 )

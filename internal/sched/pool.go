@@ -12,19 +12,47 @@ type NodeCap struct {
 	MemoryGB int `json:"memoryGB"`
 }
 
+// ClassCap is one node class's scheduling-relevant metadata: the axes the
+// cost-aware policies price placements on. A classless pool (NewPool)
+// behaves as one anonymous class with speed 1 and price 0.
+type ClassCap struct {
+	Name string `json:"name"`
+	// Spot marks revocable capacity subject to the engine's revocation
+	// source; RevocationsPerHour is each node's Poisson rate.
+	Spot               bool    `json:"spot,omitempty"`
+	RevocationsPerHour float64 `json:"revocationsPerHour,omitempty"`
+	// SpeedFactor divides task durations on the class's nodes (reference
+	// node = 1). Must be > 0.
+	SpeedFactor float64 `json:"speedFactor,omitempty"`
+	// HourlyUSD prices one node-hour of the class.
+	HourlyUSD float64 `json:"hourlyUSD,omitempty"`
+}
+
 // Pool is the scheduler's occupancy model: a fixed set of nodes on which
 // task footprints are placed first-fit. Footprints never span nodes (the
 // training framework pins each trial's executors together), so placement is
 // per-node bin packing, exactly the model tune's barrier scheduler used for
-// its scratch cluster.
+// its scratch cluster. Nodes may carry class metadata (speed, price, spot)
+// and may be transiently down while a revoked spot node awaits its
+// replacement.
 type Pool struct {
 	caps      []NodeCap
 	usedCores []int
 	usedMem   []int
+	classes   []ClassCap // nil = classless (legacy NewPool)
+	nodeClass []int      // per-node class index; nil when classless
+	down      []bool     // revoked spot nodes awaiting replacement
 }
 
-// NewPool builds an empty pool over the given node shapes.
+// NewPool builds an empty classless pool over the given node shapes.
 func NewPool(caps []NodeCap) (*Pool, error) {
+	return NewPoolClasses(caps, nil, nil)
+}
+
+// NewPoolClasses builds an empty pool with per-node class membership:
+// nodeClass[i] indexes classes for node i. Both may be nil for a classless
+// pool.
+func NewPoolClasses(caps []NodeCap, nodeClass []int, classes []ClassCap) (*Pool, error) {
 	if len(caps) == 0 {
 		return nil, fmt.Errorf("sched: pool needs at least one node")
 	}
@@ -33,34 +61,112 @@ func NewPool(caps []NodeCap) (*Pool, error) {
 			return nil, fmt.Errorf("sched: node %d has invalid capacity %+v", i, c)
 		}
 	}
+	if (nodeClass == nil) != (classes == nil) {
+		return nil, fmt.Errorf("sched: node-class map and class list must both be set or both nil")
+	}
+	if nodeClass != nil {
+		if len(nodeClass) != len(caps) {
+			return nil, fmt.Errorf("sched: %d nodes but %d class assignments", len(caps), len(nodeClass))
+		}
+		for i, ci := range nodeClass {
+			if ci < 0 || ci >= len(classes) {
+				return nil, fmt.Errorf("sched: node %d assigned to unknown class %d", i, ci)
+			}
+		}
+		for i, cc := range classes {
+			if cc.SpeedFactor <= 0 {
+				return nil, fmt.Errorf("sched: class %d (%q) has non-positive speed factor", i, cc.Name)
+			}
+		}
+	}
 	cp := make([]NodeCap, len(caps))
 	copy(cp, caps)
-	return &Pool{
+	p := &Pool{
 		caps:      cp,
 		usedCores: make([]int, len(cp)),
 		usedMem:   make([]int, len(cp)),
-	}, nil
+		down:      make([]bool, len(cp)),
+	}
+	if nodeClass != nil {
+		p.classes = append([]ClassCap(nil), classes...)
+		p.nodeClass = append([]int(nil), nodeClass...)
+	}
+	return p, nil
 }
 
 // NumNodes returns the node count.
 func (p *Pool) NumNodes() int { return len(p.caps) }
 
-// clone copies the pool including its current occupancy (used for what-if
-// probes such as backfill shadow times).
+// NumClasses returns the class count (0 for classless pools).
+func (p *Pool) NumClasses() int { return len(p.classes) }
+
+// Class returns class c's metadata.
+func (p *Pool) Class(c int) ClassCap { return p.classes[c] }
+
+// classOf returns node n's class index, or -1 on a classless pool.
+func (p *Pool) classOf(n int) int {
+	if p.nodeClass == nil {
+		return -1
+	}
+	return p.nodeClass[n]
+}
+
+// speedOf returns node n's duration divisor (1 on classless pools).
+func (p *Pool) speedOf(n int) float64 {
+	if c := p.classOf(n); c >= 0 {
+		return p.classes[c].SpeedFactor
+	}
+	return 1
+}
+
+// rateOf returns node n's hourly price (0 on classless pools).
+func (p *Pool) rateOf(n int) float64 {
+	if c := p.classOf(n); c >= 0 {
+		return p.classes[c].HourlyUSD
+	}
+	return 0
+}
+
+// classNameOf returns node n's class name ("" on classless pools).
+func (p *Pool) classNameOf(n int) string {
+	if c := p.classOf(n); c >= 0 {
+		return p.classes[c].Name
+	}
+	return ""
+}
+
+// isSpot reports whether node n is revocable spot capacity.
+func (p *Pool) isSpot(n int) bool {
+	if c := p.classOf(n); c >= 0 {
+		return p.classes[c].Spot
+	}
+	return false
+}
+
+// setDown marks node n down (a revoked spot node) or back up.
+func (p *Pool) setDown(n int, down bool) { p.down[n] = down }
+
+// clone copies the pool including its current occupancy and down set
+// (used for what-if probes such as backfill shadow times).
 func (p *Pool) clone() *Pool {
 	out := &Pool{
 		caps:      p.caps, // immutable after construction
 		usedCores: make([]int, len(p.usedCores)),
 		usedMem:   make([]int, len(p.usedMem)),
+		classes:   p.classes, // immutable after construction
+		nodeClass: p.nodeClass,
+		down:      make([]bool, len(p.down)),
 	}
 	copy(out.usedCores, p.usedCores)
 	copy(out.usedMem, p.usedMem)
+	copy(out.down, p.down)
 	return out
 }
 
 // fitsOn reports whether fp fits node n right now.
 func (p *Pool) fitsOn(n int, fp params.SysConfig) bool {
-	return p.caps[n].Cores-p.usedCores[n] >= fp.Cores &&
+	return !p.down[n] &&
+		p.caps[n].Cores-p.usedCores[n] >= fp.Cores &&
 		p.caps[n].MemoryGB-p.usedMem[n] >= fp.MemoryGB
 }
 
@@ -75,6 +181,28 @@ func (p *Pool) place(fp params.SysConfig) int {
 		}
 	}
 	return -1
+}
+
+// placeClass reserves fp on the first fitting node of class c, or -1.
+func (p *Pool) placeClass(c int, fp params.SysConfig) int {
+	for n := range p.caps {
+		if p.nodeClass[n] == c && p.fitsOn(n, fp) {
+			p.usedCores[n] += fp.Cores
+			p.usedMem[n] += fp.MemoryGB
+			return n
+		}
+	}
+	return -1
+}
+
+// fitsClass reports whether fp could be placed on class c right now.
+func (p *Pool) fitsClass(c int, fp params.SysConfig) bool {
+	for n := range p.caps {
+		if p.nodeClass[n] == c && p.fitsOn(n, fp) {
+			return true
+		}
+	}
+	return false
 }
 
 // placeOn reserves fp on node n specifically, reporting success.
@@ -94,6 +222,8 @@ func (p *Pool) free(n int, fp params.SysConfig) {
 }
 
 // canEverFit reports whether fp would fit some node of an empty pool.
+// Down nodes count: a revoked spot node's replacement re-joins with the
+// same shape, so down-ness is transient and never grounds for rejection.
 func (p *Pool) canEverFit(fp params.SysConfig) bool {
 	for _, c := range p.caps {
 		if c.Cores >= fp.Cores && c.MemoryGB >= fp.MemoryGB {

@@ -46,10 +46,15 @@ import (
 var ErrNeverFits = errors.New("sched: footprint can never fit the pool")
 
 // Same-instant dispatch classes: resizes free/claim capacity first,
-// completions release next, arrivals observe the settled state last.
+// completions release next, spot revocations reclaim nodes after both (a
+// task completing at the same instant its node is revoked keeps its
+// result), and arrivals observe the settled state last. The relative
+// order of resize/completion/arrival is unchanged from the pre-revocation
+// engine, so schedules without spot capacity are bit-identical.
 const (
-	prioResize     = -2
-	prioCompletion = -1
+	prioResize     = -3
+	prioCompletion = -2
+	prioRevocation = -1
 	prioArrival    = 0
 )
 
@@ -73,7 +78,11 @@ type Task struct {
 // slotOnly reports whether the task claims no modelled resources.
 func (t Task) slotOnly() bool { return t.Sys == (params.SysConfig{}) }
 
-// TaskStats is one task's scheduling outcome.
+// TaskStats is one task's scheduling outcome. For a task interrupted by
+// spot revocations, Start is the final (successful) attempt's admission
+// instant and the revocation fields account for the interrupted attempts;
+// every revocation field is zero — and absent from JSON — on clusters
+// without spot capacity.
 type TaskStats struct {
 	ID             int     `json:"id"`
 	Arrival        float64 `json:"arrival"`
@@ -84,12 +93,67 @@ type TaskStats struct {
 	Node           int     `json:"node"`     // final hosting node; -1 for slot-only
 	ResizesGranted int     `json:"resizesGranted"`
 	ResizesDenied  int     `json:"resizesDenied"`
+	// Class names the final hosting node's class ("" on classless pools
+	// and the legacy single-class clusters); Spot marks it revocable.
+	Class string `json:"class,omitempty"`
+	Spot  bool   `json:"spot,omitempty"`
+	// Revocations counts spot interruptions the task survived;
+	// SalvagedEpochs the epochs of work its checkpoints rescued across
+	// them (0 = every retry was from scratch); WastedSeconds the simulated
+	// node-time the interrupted attempts consumed.
+	Revocations    int     `json:"revocations,omitempty"`
+	SalvagedEpochs int     `json:"salvagedEpochs,omitempty"`
+	WastedSeconds  float64 `json:"wastedSeconds,omitempty"`
+	// CostUSD prices the task's node occupancy (all attempts) at the
+	// hosting classes' hourly rates; 0 on unpriced pools.
+	CostUSD float64 `json:"costUSD,omitempty"`
 }
 
-// queued is a task waiting for admission.
+// ResumeSpec is an EvictHandler's answer: the shape of the replacement
+// attempt after a revocation.
+type ResumeSpec struct {
+	// Duration is the replacement attempt's reference-speed runtime.
+	Duration float64
+	// Sys, when non-zero, is the replacement attempt's starting footprint
+	// (the configuration the trial had settled on by the checkpoint);
+	// zero keeps the task's current footprint.
+	Sys params.SysConfig
+	// Resizes replaces the task's resize schedule, re-based to the
+	// replacement attempt's timeline.
+	Resizes []Resize
+	// SalvagedEpochs counts the epochs the checkpoint rescued: epochs
+	// completed before the revocation that the replacement attempt will
+	// not retrain. 0 means a from-scratch retry.
+	SalvagedEpochs int
+}
+
+// EvictHandler is consulted when a spot revocation interrupts a running
+// task: given the retry ordinal (2 for the first retry) and the
+// reference-speed seconds the interrupted attempt had executed, it
+// returns the replacement attempt's shape. A nil handler replays the task
+// unchanged from scratch.
+type EvictHandler func(attempt int, elapsed float64) ResumeSpec
+
+// RevocationSource feeds the engine per-node spot revocation instants
+// (ec2.SpotProcess in production). NextAfter must be deterministic and
+// independent of query order; OutageSeconds is how long a revoked node
+// stays down before its replacement joins.
+type RevocationSource interface {
+	NextAfter(node int, t float64) float64
+	OutageSeconds() float64
+}
+
+// queued is a task waiting for admission, carrying its across-attempt
+// revocation accounting.
 type queued struct {
-	task   Task
-	onDone func(Task, TaskStats)
+	task    Task
+	onDone  func(Task, TaskStats)
+	onEvict EvictHandler
+	attempt int // 1 on first admission
+	gen     int // bumped on eviction; stale events check it
+	salv    int // cumulative salvaged epochs
+	wasted  float64
+	cost    float64 // accumulated cost of interrupted attempts
 }
 
 // timedResize is a not-yet-applied resize at an absolute simulated time.
@@ -101,9 +165,12 @@ type timedResize struct {
 // runningTask is an admitted task occupying resources until its end time.
 type runningTask struct {
 	task    Task
+	q       *queued // origin entry: eviction state and completion hook
+	gen     int     // q.gen at admission; stale events carry older values
 	start   float64
 	end     float64
 	node    int              // -1 when slot-only
+	speed   float64          // hosting class's duration divisor
 	sys     params.SysConfig // current (possibly resized) footprint
 	pending []timedResize    // scheduled resizes not yet applied, time order
 	granted int
@@ -125,6 +192,10 @@ type Engine struct {
 	done    []TaskStats
 	halted  bool
 	err     error // first internal failure; surfaced by Run
+
+	rev         RevocationSource
+	pendingRev  map[int]float64 // node -> armed revocation instant
+	revocations int             // fired revocations that evicted work
 }
 
 // New creates an engine over a pool (nil for slot-only queueing) with a
@@ -150,6 +221,24 @@ func (e *Engine) Now() float64 { return e.sim.Now() }
 // Policy returns the active placement policy.
 func (e *Engine) Policy() Policy { return e.policy }
 
+// SetRevocations arms spot revocations: src yields each node's revocation
+// instants, consumed lazily — a node's next event is scheduled only while
+// it hosts work, so a drained simulation never spins on an infinite
+// revocation stream. Call before Run.
+func (e *Engine) SetRevocations(src RevocationSource) {
+	e.rev = src
+	if src != nil && e.pendingRev == nil {
+		e.pendingRev = make(map[int]float64)
+	}
+}
+
+// HasRevocations reports whether a revocation source is armed.
+func (e *Engine) HasRevocations() bool { return e.rev != nil }
+
+// Revocations counts the fired revocations that evicted at least one
+// running task.
+func (e *Engine) Revocations() int { return e.revocations }
+
 // Halt stops the simulation before the next event; Run returns
 // simtime.ErrStopped. Callers use it to abort from a completion hook.
 func (e *Engine) Halt() {
@@ -163,6 +252,14 @@ func (e *Engine) Halt() {
 // idle pool are rejected with ErrNeverFits — the caller finds out at submit
 // time, not after the queue deadlocks.
 func (e *Engine) Submit(t Task, onDone func(Task, TaskStats)) error {
+	return e.SubmitRevocable(t, nil, onDone)
+}
+
+// SubmitRevocable is Submit with an eviction handler: when a spot
+// revocation interrupts the task, onEvict shapes the replacement attempt
+// (checkpoint resume); nil replays the task from scratch. The handler is
+// never called on clusters without spot capacity.
+func (e *Engine) SubmitRevocable(t Task, onEvict EvictHandler, onDone func(Task, TaskStats)) error {
 	if t.Duration < 0 || t.Arrival < 0 {
 		return fmt.Errorf("sched: task %d has negative time", t.ID)
 	}
@@ -179,7 +276,7 @@ func (e *Engine) Submit(t Task, onDone func(Task, TaskStats)) error {
 			}
 		}
 	}
-	q := &queued{task: t, onDone: onDone}
+	q := &queued{task: t, onDone: onDone, onEvict: onEvict, attempt: 1}
 	e.sim.ScheduleAtPrio(t.Arrival, prioArrival, func() {
 		e.queue = append(e.queue, q)
 		e.dispatch()
@@ -332,38 +429,81 @@ func (e *Engine) earliestStart(i int) float64 {
 	return math.Inf(1)
 }
 
+// pickContext assembles the policy's read-only view, including the
+// cost-aware class axis on pools with classes.
+func (e *Engine) pickContext() *PickContext {
+	ctx := &PickContext{
+		Now:           e.Now(),
+		Queue:         make([]Task, len(e.queue)),
+		FitsNow:       e.fitsNow,
+		EarliestStart: e.earliestStart,
+	}
+	for i, q := range e.queue {
+		ctx.Queue[i] = q.task
+	}
+	p := e.pool
+	if p == nil || p.NumClasses() == 0 {
+		return ctx
+	}
+	ctx.Classes = make([]ClassInfo, p.NumClasses())
+	for c := range ctx.Classes {
+		ci := ClassInfo{ClassCap: p.classes[c]}
+		for n := range p.caps {
+			if p.nodeClass[n] != c {
+				continue
+			}
+			ci.Nodes++
+			if p.down[n] {
+				continue
+			}
+			ci.UpNodes++
+			ci.FreeCores += p.caps[n].Cores - p.usedCores[n]
+			ci.FreeMemoryGB += p.caps[n].MemoryGB - p.usedMem[n]
+		}
+		ctx.Classes[c] = ci
+	}
+	ctx.ClassFits = func(i, c int) bool { return p.fitsClass(c, e.queue[i].task.Sys) }
+	ctx.ClassDuration = func(i, c int) float64 { return e.queue[i].task.Duration / p.classes[c].SpeedFactor }
+	ctx.ClassCost = func(i, c int) float64 {
+		return e.queue[i].task.Duration / p.classes[c].SpeedFactor / 3600 * p.classes[c].HourlyUSD
+	}
+	return ctx
+}
+
 // dispatch starts queued tasks while the policy keeps admitting them.
 func (e *Engine) dispatch() {
 	for !e.halted && len(e.queue) > 0 {
 		if e.slots > 0 && len(e.running) >= e.slots {
 			return
 		}
-		ctx := &PickContext{
-			Now:           e.Now(),
-			Queue:         make([]Task, len(e.queue)),
-			FitsNow:       e.fitsNow,
-			EarliestStart: e.earliestStart,
-		}
-		for i, q := range e.queue {
-			ctx.Queue[i] = q.task
-		}
+		ctx := e.pickContext()
 		idx := e.policy.Pick(ctx)
 		if idx < 0 || idx >= len(e.queue) {
 			return
 		}
-		e.start(idx)
+		class := -1
+		if ch, ok := e.policy.(ClassChooser); ok && len(ctx.Classes) > 0 {
+			class = ch.ChooseClass(ctx, idx)
+		}
+		e.start(idx, class)
 	}
 }
 
-// start admits queue[idx]: reserves its footprint, schedules its resize and
-// completion events.
-func (e *Engine) start(idx int) {
+// start admits queue[idx]: reserves its footprint (on the chosen class
+// when the policy picked one, first-fit across all nodes otherwise),
+// schedules its resize and completion events, and — on a spot node — arms
+// the node's next revocation.
+func (e *Engine) start(idx, class int) {
 	q := e.queue[idx]
 	e.queue = append(e.queue[:idx], e.queue[idx+1:]...)
 	t := q.task
 	node := -1
 	if !t.slotOnly() && e.pool != nil {
-		node = e.pool.place(t.Sys)
+		if class >= 0 {
+			node = e.pool.placeClass(class, t.Sys)
+		} else {
+			node = e.pool.place(t.Sys)
+		}
 		if node < 0 {
 			// The policy picked a task that does not fit — a policy bug.
 			// Fail loudly rather than corrupting occupancy.
@@ -373,24 +513,122 @@ func (e *Engine) start(idx int) {
 		}
 	}
 	now := e.Now()
-	rt := &runningTask{task: t, start: now, end: now + t.Duration, node: node, sys: t.Sys}
+	speed := 1.0
+	if node >= 0 {
+		speed = e.pool.speedOf(node)
+	}
+	rt := &runningTask{
+		task: t, q: q, gen: q.gen,
+		start: now, end: now + t.Duration/speed,
+		node: node, speed: speed, sys: t.Sys,
+	}
 	e.running[t.ID] = rt
 	e.order[t.ID] = e.seq
 	e.seq++
 
+	gen := q.gen
 	for _, rz := range t.Resizes {
 		rz := rz
 		if rz.Offset <= 0 || rz.Offset >= t.Duration {
 			continue // outside the task's lifetime: nothing to re-negotiate
 		}
-		rt.pending = append(rt.pending, timedResize{at: now + rz.Offset, sys: rz.Sys})
-		e.sim.ScheduleAtPrio(now+rz.Offset, prioResize, func() { e.resize(t.ID, rz.Sys) })
+		at := now + rz.Offset/speed
+		rt.pending = append(rt.pending, timedResize{at: at, sys: rz.Sys})
+		e.sim.ScheduleAtPrio(at, prioResize, func() { e.resize(t.ID, gen, rz.Sys) })
 	}
 	// Resize events fire in time order with submission order breaking ties
 	// (simtime seq); keep the pending list in the same order so replay and
 	// reality agree.
 	sort.SliceStable(rt.pending, func(i, j int) bool { return rt.pending[i].at < rt.pending[j].at })
-	e.sim.ScheduleAtPrio(rt.end, prioCompletion, func() { e.complete(t.ID, q.onDone) })
+	e.sim.ScheduleAtPrio(rt.end, prioCompletion, func() { e.complete(t.ID, gen) })
+	if node >= 0 && e.rev != nil && e.pool.isSpot(node) {
+		e.armRevocation(node)
+	}
+}
+
+// armRevocation schedules node's next revocation instant if none is
+// pending. Events are armed only while a spot node hosts work; a fired
+// event re-arms lazily via the next start() on that node, so the event
+// queue always drains.
+func (e *Engine) armRevocation(n int) {
+	if _, ok := e.pendingRev[n]; ok {
+		return
+	}
+	at := e.rev.NextAfter(n, e.Now())
+	if math.IsInf(at, 1) {
+		return
+	}
+	e.pendingRev[n] = at
+	e.sim.ScheduleAtPrio(at, prioRevocation, func() { e.revoke(n, at) })
+}
+
+// revoke fires node n's spot revocation: every task running on it is
+// evicted and requeued at the queue head (admission order preserved,
+// attempt bumped), the node goes down for the source's outage window, and
+// its replacement re-joins with the same shape.
+func (e *Engine) revoke(n int, at float64) {
+	delete(e.pendingRev, n)
+	if e.halted {
+		return
+	}
+	var victims []*runningTask
+	for _, rt := range e.running {
+		if rt.node == n {
+			victims = append(victims, rt)
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool {
+		return e.order[victims[i].task.ID] < e.order[victims[j].task.ID]
+	})
+	if len(victims) > 0 {
+		e.revocations++
+	}
+	requeued := make([]*queued, 0, len(victims))
+	for _, rt := range victims {
+		requeued = append(requeued, e.evict(rt, at))
+	}
+	e.queue = append(requeued, e.queue...)
+	e.pool.setDown(n, true)
+	e.sim.ScheduleAtPrio(at+e.rev.OutageSeconds(), prioArrival, func() {
+		e.pool.setDown(n, false)
+		if !e.halted {
+			e.dispatch()
+		}
+	})
+	if !e.halted {
+		e.dispatch() // evicted tasks may restart elsewhere immediately
+	}
+}
+
+// evict interrupts a running task for a revocation at instant `at`: frees
+// its reservation, invalidates its scheduled completion/resize events via
+// the generation counter, consults its eviction handler for the
+// replacement attempt's shape (checkpoint resume), and returns its queue
+// entry for requeueing.
+func (e *Engine) evict(rt *runningTask, at float64) *queued {
+	q := rt.q
+	delete(e.running, rt.task.ID)
+	delete(e.order, rt.task.ID)
+	if rt.node >= 0 {
+		e.pool.free(rt.node, rt.sys)
+	}
+	elapsed := at - rt.start // node-local seconds the attempt consumed
+	q.gen++
+	q.attempt++
+	q.wasted += elapsed
+	if rt.node >= 0 {
+		q.cost += elapsed / 3600 * e.pool.rateOf(rt.node)
+	}
+	if q.onEvict != nil {
+		rs := q.onEvict(q.attempt, elapsed*rt.speed)
+		q.task.Duration = rs.Duration
+		q.task.Resizes = rs.Resizes
+		if rs.Sys != (params.SysConfig{}) {
+			q.task.Sys = rs.Sys
+		}
+		q.salv += rs.SalvagedEpochs
+	}
+	return q
 }
 
 // fail records the first internal error and halts the simulation.
@@ -404,10 +642,10 @@ func (e *Engine) fail(err error) {
 // resize re-negotiates a running task's reservation: in-place on its node
 // when possible, otherwise on any other node, otherwise denied (the task
 // keeps its previous footprint). Shrinking always succeeds in place.
-func (e *Engine) resize(id int, to params.SysConfig) {
+func (e *Engine) resize(id, gen int, to params.SysConfig) {
 	rt, ok := e.running[id]
-	if !ok || e.halted {
-		return
+	if !ok || rt.gen != gen || e.halted {
+		return // stale event from an attempt a revocation interrupted
 	}
 	if len(rt.pending) > 0 {
 		rt.pending = rt.pending[1:] // this event is no longer pending
@@ -439,15 +677,20 @@ func (e *Engine) resize(id int, to params.SysConfig) {
 
 // complete releases the task's resources, records its stats, fires the
 // caller's hook and re-runs admission.
-func (e *Engine) complete(id int, onDone func(Task, TaskStats)) {
+func (e *Engine) complete(id, gen int) {
 	rt, ok := e.running[id]
-	if !ok || e.halted {
-		return
+	if !ok || rt.gen != gen || e.halted {
+		return // stale event from an attempt a revocation interrupted
 	}
 	delete(e.running, id)
 	delete(e.order, id)
 	if rt.node >= 0 {
 		e.pool.free(rt.node, rt.sys)
+	}
+	q := rt.q
+	cost := q.cost
+	if rt.node >= 0 {
+		cost += (rt.end - rt.start) / 3600 * e.pool.rateOf(rt.node)
 	}
 	st := TaskStats{
 		ID:             rt.task.ID,
@@ -459,10 +702,18 @@ func (e *Engine) complete(id int, onDone func(Task, TaskStats)) {
 		Node:           rt.node,
 		ResizesGranted: rt.granted,
 		ResizesDenied:  rt.denied,
+		Revocations:    q.attempt - 1,
+		SalvagedEpochs: q.salv,
+		WastedSeconds:  q.wasted,
+		CostUSD:        cost,
+	}
+	if rt.node >= 0 && e.pool != nil {
+		st.Class = e.pool.classNameOf(rt.node)
+		st.Spot = e.pool.isSpot(rt.node)
 	}
 	e.done = append(e.done, st)
-	if onDone != nil {
-		onDone(rt.task, st)
+	if q.onDone != nil {
+		q.onDone(rt.task, st)
 	}
 	e.dispatch()
 }

@@ -326,7 +326,7 @@ func TestSimulateValidation(t *testing.T) {
 }
 
 func TestByName(t *testing.T) {
-	for _, name := range []string{NameFIFO, NameSJF, NameBackfill} {
+	for _, name := range []string{NameFIFO, NameSJF, NameBackfill, NameCheapest, NamePerfPerDollar} {
 		p, err := ByName(name)
 		if err != nil || p.Name() != name {
 			t.Fatalf("ByName(%q) = %v, %v", name, p, err)

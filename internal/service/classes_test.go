@@ -1,0 +1,133 @@
+package service
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pipetune"
+	"pipetune/client"
+)
+
+// TestHealthAndFleetReportClusterComposition: on a heterogeneous system,
+// /healthz and GET /v1/fleet must both surface the node-class composition
+// and the spot/on-demand split; legacy single-class systems keep both
+// surfaces free of cluster fields.
+func TestHealthAndFleetReportClusterComposition(t *testing.T) {
+	classes, err := pipetune.EC2Classes(2, 0.5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := newSystem(t,
+		pipetune.WithClusterClasses(classes...),
+		pipetune.WithPlacementPolicy(pipetune.SchedCheapest))
+	// GET /v1/fleet is the remote execution plane's surface, so mount one.
+	_, cl, _ := newRemoteServer(t, Config{System: sys}, 3)
+	ctx := context.Background()
+
+	h, err := cl.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Cluster == nil {
+		t.Fatal("health omits the cluster composition on a classed system")
+	}
+	if h.Cluster.Nodes != 6 || h.Cluster.SpotNodes != 3 || h.Cluster.OnDemandNodes != 3 {
+		t.Fatalf("health cluster counts %+v, want 6 nodes split 3/3", h.Cluster)
+	}
+	if len(h.Cluster.Classes) != 6 {
+		t.Fatalf("health lists %d classes, want 6", len(h.Cluster.Classes))
+	}
+	spotRows := 0
+	for _, c := range h.Cluster.Classes {
+		if c.Spot {
+			spotRows++
+			if c.RevocationsPerHour != 2 {
+				t.Fatalf("spot class %q revocation rate %v, want 2", c.Name, c.RevocationsPerHour)
+			}
+		}
+	}
+	if spotRows != 3 {
+		t.Fatalf("%d spot classes reported, want 3", spotRows)
+	}
+
+	fs, err := cl.Fleet(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.SpotNodes != 3 || fs.OnDemandNodes != 3 || len(fs.Classes) != 6 {
+		t.Fatalf("fleet composition %+v, want 6 classes split 3/3", fs)
+	}
+
+	// A legacy system reports no cluster composition at all.
+	_, legacy, _ := newRemoteServer(t, Config{}, 3)
+	lh, err := legacy.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lh.Cluster != nil {
+		t.Fatalf("legacy health grew a cluster section: %+v", lh.Cluster)
+	}
+	lf, err := legacy.Fleet(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lf.Classes) != 0 || lf.SpotNodes != 0 || lf.OnDemandNodes != 0 {
+		t.Fatalf("legacy fleet grew class fields: %+v", lf)
+	}
+}
+
+// TestSchedMetricsRecorded: finishing a job on a classed system must
+// publish sched_placements_total series labelled with the hosting class
+// and the placement policy in force.
+func TestSchedMetricsRecorded(t *testing.T) {
+	classes, err := pipetune.EC2Classes(1, 0, 0) // all on-demand: deterministic, no outage stalls
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := newSystem(t,
+		pipetune.WithClusterClasses(classes...),
+		pipetune.WithPlacementPolicy(pipetune.SchedCheapest))
+	svc, err := New(Config{System: sys})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() { srv.Close(); svc.Shutdown() })
+	cl := client.New(srv.URL)
+	ctx := context.Background()
+
+	st, err := cl.Submit(ctx, smallReq("lenet/mnist"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Wait(ctx, st.ID, 10*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	if !strings.Contains(text, "sched_placements_total{") {
+		t.Fatal("no sched_placements_total series after a classed job")
+	}
+	if !strings.Contains(text, `policy="cheapest"`) {
+		t.Fatal("placements not labelled with the placement policy")
+	}
+	if !strings.Contains(text, `class="m4.4xlarge"`) &&
+		!strings.Contains(text, `class="m5.12xlarge"`) &&
+		!strings.Contains(text, `class="m5.24xlarge"`) {
+		t.Fatalf("placements not labelled with a hosting class:\n%s", text)
+	}
+}

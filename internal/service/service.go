@@ -234,6 +234,13 @@ func New(cfg Config) (*Service, error) {
 		// Every job's trial bodies now compute on the worker fleet; the
 		// searcher, scheduler and ground-truth middleware stay in-process.
 		cfg.System.SetExecBackend(cfg.Remote)
+		// Surface the simulated cluster's composition on the fleet status
+		// (GET /v1/fleet and Health.Fleet). Legacy single-class systems
+		// report nothing, keeping their fleet bodies unchanged.
+		if classes := cfg.System.ClusterClasses(); len(classes) > 0 {
+			spot, onDemand := cfg.System.SpotCounts()
+			cfg.Remote.SetClusterStatus(classes, spot, onDemand)
+		}
 	}
 	s := &Service{
 		cfg:  cfg,
@@ -462,6 +469,9 @@ func (s *Service) runJob(jb *job) {
 	// "done" may rely on the job's ground-truth contributions being
 	// durable already.
 	s.snapshotGT()
+	if err == nil && res != nil {
+		s.recordSched(res)
+	}
 
 	s.mu.Lock()
 	jb.cancel = nil
@@ -478,6 +488,29 @@ func (s *Service) runJob(jb *job) {
 	s.mu.Unlock()
 
 	s.cfg.Logf("service: %s %s", jb.id, state)
+}
+
+// recordSched publishes a finished job's placement and spot-recovery
+// outcomes: one sched_placements_total increment per trial (labelled by
+// hosting class and placement policy), plus the job's revocation and
+// salvaged-epoch totals. Runs outside s.mu — it only touches the
+// lock-free metrics instruments and the (now immutable) result.
+func (s *Service) recordSched(res *tune.JobResult) {
+	policy := s.cfg.System.PlacementPolicyName()
+	for i := range res.Trials {
+		t := &res.Trials[i]
+		class := t.Class
+		if class == "" {
+			class = "default" // legacy single-class cluster
+		}
+		s.met.placements.With(class, policy).Inc()
+		if t.Revocations > 0 {
+			s.met.revocations.Add(uint64(t.Revocations))
+		}
+		if t.SalvagedEpochs > 0 {
+			s.met.salvaged.Add(uint64(t.SalvagedEpochs))
+		}
+	}
 }
 
 // snapshotGT compacts the write-ahead log into a snapshot if anything
@@ -822,6 +855,15 @@ func (s *Service) Health() api.Health {
 		fs := s.cfg.Remote.Fleet()
 		h.ExecBackend = fs.Backend
 		h.Fleet = &fs
+	}
+	if classes := s.cfg.System.ClusterClasses(); len(classes) > 0 {
+		spot, onDemand := s.cfg.System.SpotCounts()
+		h.Cluster = &api.ClusterStatus{
+			Nodes:         spot + onDemand,
+			SpotNodes:     spot,
+			OnDemandNodes: onDemand,
+			Classes:       classes,
+		}
 	}
 	return h
 }

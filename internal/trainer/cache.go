@@ -158,6 +158,19 @@ func (c *TrialCache) Digest(key string) (uint64, bool) {
 	return 0, false
 }
 
+// CheckpointDepth returns the deepest checkpointed epoch stored for a key
+// (0 when the key is absent or holds no checkpoint). The spot-recovery
+// path uses it to decide how many epochs a revoked trial's replacement
+// attempt can skip.
+func (c *TrialCache) CheckpointDepth(key string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e := c.entries[key]; e != nil {
+		return e.ckpt.epoch
+	}
+	return 0
+}
+
 // InstrumentMetrics registers the cache's families on reg and starts
 // publishing. Call before concurrent use (the service wires it at
 // construction). A nil registry yields nil handles: every update stays a

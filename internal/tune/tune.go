@@ -38,6 +38,7 @@ import (
 	"sort"
 
 	"pipetune/internal/cluster"
+	"pipetune/internal/ec2"
 	"pipetune/internal/exec"
 	"pipetune/internal/params"
 	"pipetune/internal/sched"
@@ -184,6 +185,20 @@ type TrialRecord struct {
 	// whose system configuration is fixed for the whole trial.
 	Resizes       int `json:"resizes,omitempty"`
 	ResizesDenied int `json:"resizesDenied,omitempty"`
+	// Class names the node class the trial's final attempt ran on and Spot
+	// marks it revocable; both are empty on legacy single-class clusters.
+	Class string `json:"class,omitempty"`
+	Spot  bool   `json:"spot,omitempty"`
+	// Revocations counts the spot interruptions the trial survived;
+	// SalvagedEpochs sums, over those interruptions, the epochs each
+	// checkpoint resume skipped retraining (0 = every retry from scratch);
+	// WastedSeconds is the simulated node-time the interrupted attempts
+	// burned. CostUSD prices all attempts at the hosting classes' hourly
+	// rates. All zero — and absent from JSON — on non-spot clusters.
+	Revocations    int     `json:"revocations,omitempty"`
+	SalvagedEpochs int     `json:"salvagedEpochs,omitempty"`
+	WastedSeconds  float64 `json:"wastedSeconds,omitempty"`
+	CostUSD        float64 `json:"costUSD,omitempty"`
 }
 
 // ProgressPoint supports the convergence plots (Figures 9 and 10): the
@@ -401,6 +416,88 @@ func resizeEvents(res *trainer.Result) []sched.Resize {
 	return out
 }
 
+// trialSeed derives a trial's deterministic seed from the job seed and
+// trial ID (splitmix-style odd-constant mixing).
+func trialSeed(jobSeed uint64, id int) uint64 {
+	return jobSeed ^ (uint64(id)+1)*0x9e3779b97f4a7c15
+}
+
+// spotSeedSalt decorrelates the spot-revocation process from every other
+// consumer of the job seed (trial seeds, searcher RNG).
+const spotSeedSalt uint64 = 0x5b0f5eedc0ffee11
+
+// resumeSpec shapes a revoked trial's replacement attempt: resume from the
+// deepest checkpoint at or below the last epoch the interrupted attempt
+// completed. res.Epochs[0] is the init phase and epoch k lives at index k,
+// so a resume-after-epoch-salv attempt replays init and then epochs
+// salv+1..N: its duration is init + the original tail past epoch salv, its
+// starting footprint is epoch salv+1's configuration, and the resize
+// schedule is the original one re-based to the shortened timeline.
+func resumeSpec(res *trainer.Result, startSys params.SysConfig, salv int) sched.ResumeSpec {
+	if salv <= 0 || len(res.Epochs) < 2 {
+		return sched.ResumeSpec{
+			Duration: res.Duration,
+			Sys:      startSys,
+			Resizes:  resizeEvents(res),
+		}
+	}
+	// base maps original-timeline instants to the resumed attempt's clock:
+	// resumed time of epoch e's end = init + (EndTime[e] - EndTime[salv]).
+	base := res.Epochs[salv].EndTime - res.Epochs[0].Duration
+	out := sched.ResumeSpec{
+		Duration:       res.Duration - base,
+		Sys:            res.Epochs[salv+1].Sys,
+		SalvagedEpochs: salv,
+	}
+	cur := out.Sys
+	for _, ep := range res.Epochs[salv+2:] {
+		if ep.Sys != cur {
+			out.Resizes = append(out.Resizes, sched.Resize{Offset: ep.EndTime - ep.Duration - base, Sys: ep.Sys})
+			cur = ep.Sys
+		}
+	}
+	return out
+}
+
+// evictHandler builds one trial's sched.EvictHandler. The closure tracks
+// the attempt's current resume point so a second revocation measures
+// progress on the shortened timeline, and consults the trainer's prefix
+// cache for the deepest checkpoint available under the trial's key — the
+// compute-then-simulate split means the body (and its checkpoints) already
+// exist when the simulated revocation fires, so the binding constraint is
+// the epoch the interrupted attempt had actually reached.
+func (r *Runner) evictHandler(rec *TrialRecord, key string) sched.EvictHandler {
+	res := rec.Result
+	salvaged := 0 // current attempt's resume point (epochs skipped)
+	return func(_ int, elapsed float64) sched.ResumeSpec {
+		if len(res.Epochs) < 2 {
+			return sched.ResumeSpec{Duration: res.Duration, Sys: rec.StartSys}
+		}
+		// Attempt-local completion instant of epoch e: init duration plus
+		// the original gap from the resume point's end to e's end.
+		base := res.Epochs[salvaged].EndTime - res.Epochs[0].Duration
+		// The restored state already sits at epoch `salvaged` when the
+		// attempt begins, so progress never regresses below it.
+		completed := salvaged
+		for e := salvaged + 1; e < len(res.Epochs); e++ {
+			if res.Epochs[e].EndTime-base > elapsed {
+				break
+			}
+			completed = e
+		}
+		depth := 0
+		if key != "" && r.Trainer.Cache != nil {
+			depth = r.Trainer.Cache.CheckpointDepth(key)
+		}
+		salv := completed
+		if depth < salv {
+			salv = depth
+		}
+		salvaged = salv
+		return resumeSpec(res, rec.StartSys, salv)
+	}
+}
+
 // RunJob executes the HPT job to completion on the event-driven scheduler:
 // every trial is admitted the moment its footprint fits the cluster under
 // the placement policy, and the searcher observes each result at the
@@ -424,6 +521,12 @@ func (r *Runner) RunJobCtx(ctx context.Context, spec JobSpec) (*JobResult, error
 		return nil, err
 	}
 	eng := sched.New(r.Cluster.SchedPool(), r.policyFor(spec), slots)
+	if rates := r.Cluster.SpotRevocationRates(); rates != nil {
+		// The revocation process is seeded from the job seed (salted so it
+		// never correlates with trial seeds), making the whole spot
+		// schedule a deterministic function of the job spec.
+		eng.SetRevocations(ec2.NewSpotProcess(spec.Seed^spotSeedSalt, rates, ec2.DefaultOutageSeconds))
+	}
 	res := &JobResult{Spec: spec}
 	outstanding := 0
 	bestAcc := 0.0
@@ -495,9 +598,20 @@ func (r *Runner) RunJobCtx(ctx context.Context, spec JobSpec) (*JobResult, error
 				Duration: rec.Result.Duration,
 				Resizes:  resizeEvents(rec.Result),
 			}
-			err := eng.Submit(task, func(_ sched.Task, st sched.TaskStats) {
+			var onEvict sched.EvictHandler
+			if eng.HasRevocations() {
+				var key string
+				if r.Trainer.Cache != nil {
+					key = r.Trainer.PrefixKey(spec.Workload, rec.Hyper, trialSeed(spec.Seed, rec.ID))
+				}
+				onEvict = r.evictHandler(rec, key)
+			}
+			err := eng.SubmitRevocable(task, onEvict, func(_ sched.Task, st sched.TaskStats) {
 				rec.Start, rec.End = st.Start, st.End
 				rec.Resizes, rec.ResizesDenied = st.ResizesGranted, st.ResizesDenied
+				rec.Class, rec.Spot = st.Class, st.Spot
+				rec.Revocations, rec.SalvagedEpochs = st.Revocations, st.SalvagedEpochs
+				rec.WastedSeconds, rec.CostUSD = st.WastedSeconds, st.CostUSD
 				complete(rec)
 			})
 			if err != nil {
@@ -525,7 +639,15 @@ func (r *Runner) RunJobCtx(ctx context.Context, spec JobSpec) (*JobResult, error
 	if res.Best == nil {
 		return nil, errors.New("tune: searcher proposed no trials")
 	}
-	res.TuningTime = eng.Now()
+	// The makespan is the last trial completion, not eng.Now(): a revoked
+	// spot node's replacement arrival may trail the final completion.
+	// Without spot capacity the two coincide, keeping legacy output
+	// bit-identical.
+	for i := range res.Trials {
+		if res.Trials[i].End > res.TuningTime {
+			res.TuningTime = res.Trials[i].End
+		}
+	}
 	return res, nil
 }
 
@@ -682,6 +804,18 @@ func (r *Runner) runBatch(ctx context.Context, spec JobSpec, batch []search.Sugg
 	trials := make([]exec.Trial, 0, len(batch))
 	idx := make([]int, 0, len(batch)) // trial position -> record index
 	tc := exec.CaptureTrainerConfig(r.Trainer)
+	// Cost-aware policies on heterogeneous clusters get a deterministic
+	// preferred-class hint stamped on each assignment: the class the policy
+	// would choose on an idle cluster, priced from the cost model's
+	// predicted duration. Actual placement is re-decided at simulated
+	// dispatch against live occupancy; the hint only routes the compute.
+	chooser, _ := r.policyFor(spec).(sched.ClassChooser)
+	var hintPool *sched.Pool
+	if chooser != nil {
+		if p := r.Cluster.SchedPool(); p.NumClasses() > 0 {
+			hintPool = p
+		}
+	}
 	for i, sug := range batch {
 		// Cancellation outranks per-trial validation, as it did when the
 		// pre-refactor pool checked the context before each trial body: a
@@ -724,24 +858,31 @@ func (r *Runner) runBatch(ctx context.Context, spec JobSpec, batch []search.Sugg
 			StartSys:   sys,
 			BudgetFrac: sug.BudgetFrac,
 		}
-		trialSeed := spec.Seed ^ (uint64(sug.ID)+1)*0x9e3779b97f4a7c15
+		seed := trialSeed(spec.Seed, sug.ID)
 		var cacheKey string
 		if r.Trainer.Cache != nil {
 			// Derive the prefix-cache key once here so every backend —
 			// the in-process pool and each remote worker — uses the
 			// submitting trainer's key, not a locally re-derived one.
-			cacheKey = r.Trainer.PrefixKey(spec.Workload, h, trialSeed)
+			cacheKey = r.Trainer.PrefixKey(spec.Workload, h, seed)
+		}
+		var classHint string
+		if hintPool != nil {
+			if d, err := r.Trainer.PredictDuration(spec.Workload, h, sys); err == nil {
+				classHint = sched.PreferredClass(hintPool, chooser, sys, d)
+			}
 		}
 		trials = append(trials, exec.Trial{
 			ID:       sug.ID,
 			Workload: spec.Workload,
 			Hyper:    h,
 			Sys:      sys,
-			Seed:     trialSeed,
+			Seed:     seed,
 			Observer: obs,
 			Restart:  restart,
 			Trainer:  tc,
 			CacheKey: cacheKey,
+			Class:    classHint,
 		})
 		idx = append(idx, i)
 	}

@@ -178,11 +178,48 @@ func WithCluster(numNodes, coresPerNode, memGBPerNode int) Option {
 	}
 }
 
+// NodeClass describes one homogeneous group of cluster nodes — shape,
+// count, relative speed, pricing and spot revocability. Re-exported from
+// internal/cluster for WithClusterClasses.
+type NodeClass = cluster.NodeClass
+
+// WithClusterClasses replaces the cluster with a heterogeneous one built
+// from node classes (shapes, speeds, prices, spot capacity). Cost-aware
+// placement policies (SchedCheapest, SchedPerfPerDollar) price trials
+// against these classes, and spot classes with a revocation rate feed the
+// scheduler's deterministic revocation process. An invalid class set
+// fails pipetune.New.
+func WithClusterClasses(classes ...NodeClass) Option {
+	return func(s *System) {
+		c, err := cluster.NewClasses(classes)
+		if err != nil {
+			s.fail(fmt.Errorf("pipetune: WithClusterClasses: %w", err))
+			return
+		}
+		s.cluster = c
+	}
+}
+
+// EC2Classes builds the paper's Figure 1 EC2 fleet as node classes:
+// nodesPerShape nodes of each of the three instance shapes, with
+// spotFraction of each shape's nodes (rounded) bought on the spot market
+// at the spot discount and revoked at revocationsPerHour per node.
+// spotFraction 0 is an all-on-demand fleet.
+func EC2Classes(nodesPerShape int, spotFraction, revocationsPerHour float64) ([]NodeClass, error) {
+	return cluster.EC2Fleet(nodesPerShape, spotFraction, revocationsPerHour)
+}
+
 // Trial placement policies accepted by WithScheduler.
 const (
 	SchedFIFO     = sched.NameFIFO
 	SchedSJF      = sched.NameSJF
 	SchedBackfill = sched.NameBackfill
+	// SchedCheapest and SchedPerfPerDollar are FIFO admission with a
+	// cost-aware class choice on heterogeneous clusters: lowest predicted
+	// dollar cost, or best speed per dollar. On single-class clusters both
+	// degrade to exact FIFO.
+	SchedCheapest      = sched.NameCheapest
+	SchedPerfPerDollar = sched.NamePerfPerDollar
 )
 
 // Job dispatch policies of the pipetuned service (internal/admission):
@@ -216,6 +253,11 @@ func WithScheduler(policy string) Option {
 		s.pipetune.Policy = p
 	}
 }
+
+// WithPlacementPolicy is WithScheduler under its cost-aware name: it
+// selects how trials are placed on the cluster, including which node
+// class they land on when the policy is class-aware.
+func WithPlacementPolicy(policy string) Option { return WithScheduler(policy) }
 
 // fail records the first option error.
 func (s *System) fail(err error) {
@@ -448,4 +490,27 @@ func (s *System) TrainerCacheStats() trainer.CacheStats {
 // running it (used for capacity planning and the multi-tenant examples).
 func (s *System) PredictTrialDuration(w Workload, h Hyper, sys SysConfig) (float64, error) {
 	return s.trainer.PredictDuration(w, h, sys)
+}
+
+// ClusterClasses reports the cluster's node-class composition for health
+// surfaces; empty (nil) on legacy single-class clusters, whose anonymous
+// class carries no metadata worth reporting.
+func (s *System) ClusterClasses() []cluster.ClassStatus {
+	st := s.cluster.Status()
+	if len(st) == 1 && st[0].Name == "" {
+		return nil
+	}
+	return st
+}
+
+// SpotCounts splits the cluster's nodes into spot and on-demand counts.
+func (s *System) SpotCounts() (spot, onDemand int) { return s.cluster.SpotCounts() }
+
+// PlacementPolicyName names the trial placement policy in force
+// (WithScheduler / WithPlacementPolicy; "fifo" by default).
+func (s *System) PlacementPolicyName() string {
+	if s.tuner.Policy == nil {
+		return sched.NameFIFO
+	}
+	return s.tuner.Policy.Name()
 }
