@@ -61,6 +61,7 @@ func run() error {
 		beatFlag     = flag.Duration("heartbeat", 0, "heartbeat cadence (0 = daemon-advertised)")
 		nameFlag     = flag.String("name", "", "worker label in fleet status (default: hostname)")
 		wireFlag     = flag.String("wire", exec.WireBinary, "work protocol: binary (framed stream) or json (long-poll compat)")
+		trainParFlag = flag.Int("train-parallelism", 0, "default deterministic kernel parallelism for trial compute when the daemon ships none (bit-identical at every degree; <=1 = serial)")
 	)
 	flag.Parse()
 	if *wireFlag != exec.WireJSON && *wireFlag != exec.WireBinary {
@@ -69,13 +70,14 @@ func run() error {
 
 	logger := log.New(os.Stderr, "pipetune-worker: ", log.LstdFlags)
 	agent := exec.NewAgent(exec.AgentConfig{
-		Server:    *serverFlag,
-		Token:     *tokenFlag,
-		Name:      *nameFlag,
-		Capacity:  *capacityFlag,
-		Heartbeat: *beatFlag,
-		Wire:      *wireFlag,
-		Logf:      logger.Printf,
+		Server:           *serverFlag,
+		Token:            *tokenFlag,
+		Name:             *nameFlag,
+		Capacity:         *capacityFlag,
+		Heartbeat:        *beatFlag,
+		Wire:             *wireFlag,
+		Logf:             logger.Printf,
+		TrainParallelism: *trainParFlag,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -221,6 +221,7 @@ func run() error {
 		mirrorFlag    = flag.Duration("metrics-mirror-interval", 10*time.Second, "cadence of the registry mirror into the in-memory time-series DB")
 		cacheFlag     = flag.Bool("trial-cache", false, "enable the trial prefix cache: trials sharing a training prefix replay or resume cached SGD bit-identically (remote workers keep local caches of the same budget)")
 		cacheBytes    = flag.Int64("trial-cache-bytes", trainer.DefaultCacheBytes, "trial prefix cache byte budget (LRU-evicted; only with -trial-cache)")
+		trainParFlag  = flag.Int("train-parallelism", 0, "deterministic intra-trial kernel parallelism: shard each trial's compute across up to N goroutines, bit-identically to serial (<=1 = serial; shipped to remote workers)")
 		weights       = weightFlags{}
 	)
 	flag.Var(weights, "tenant-weight", "fair-share weight as name=w (repeatable; unlisted tenants weigh 1)")
@@ -287,6 +288,9 @@ func run() error {
 	}
 	if *cacheFlag {
 		opts = append(opts, pipetune.WithTrialCache(*cacheBytes))
+	}
+	if *trainParFlag > 1 {
+		opts = append(opts, pipetune.WithTrainParallelism(*trainParFlag))
 	}
 	sys, err := pipetune.New(opts...)
 	if err != nil {

@@ -232,26 +232,55 @@ func shuffle(r *xrand.Source, s []Sample) {
 
 // Batches splits indices [0,n) into contiguous minibatches of size b after
 // applying the permutation perm (pass nil for identity order). The final
-// batch may be short. It is the canonical epoch iteration used by the
-// trainer: one forward+backward per batch, as in synchronous minibatch SGD.
+// batch may be short. Prefer EachBatch on hot paths: Batches materialises
+// the batch list, allocating its [][]int header (plus an identity index
+// slice when perm is nil) on every call.
 func Batches(n, b int, perm []int) [][]int {
 	if b <= 0 || n <= 0 {
 		return nil
 	}
-	idx := perm
-	if idx == nil {
-		idx = make([]int, n)
-		for i := range idx {
-			idx[i] = i
-		}
-	}
+	idx := identity(n, perm)
 	out := make([][]int, 0, (n+b-1)/b)
+	EachBatch(n, b, idx, func(batch []int) error {
+		out = append(out, batch)
+		return nil
+	})
+	return out
+}
+
+// EachBatch invokes fn on each contiguous minibatch of perm — indices
+// [0,n) permuted by perm (nil for identity order), split into batches of
+// size b with the final batch possibly short. It is the canonical epoch
+// iteration used by the trainer: one forward+backward per batch, as in
+// synchronous minibatch SGD. Batches are subslices of perm, so with a
+// non-nil perm the iteration allocates nothing; fn must not retain or
+// mutate them. Iteration stops at the first error, which is returned.
+func EachBatch(n, b int, perm []int, fn func(batch []int) error) error {
+	if b <= 0 || n <= 0 {
+		return nil
+	}
+	idx := identity(n, perm)
 	for start := 0; start < n; start += b {
 		end := start + b
 		if end > n {
 			end = n
 		}
-		out = append(out, idx[start:end])
+		if err := fn(idx[start:end]); err != nil {
+			return err
+		}
 	}
-	return out
+	return nil
+}
+
+// identity returns perm, or a fresh identity permutation of [0,n) when
+// perm is nil.
+func identity(n int, perm []int) []int {
+	if perm != nil {
+		return perm
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	return idx
 }

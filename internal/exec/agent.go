@@ -37,6 +37,13 @@ type AgentConfig struct {
 	Wire string
 	// Capacity is how many trial bodies compute concurrently (default 1).
 	Capacity int
+	// TrainParallelism is the worker's default deterministic intra-trial
+	// kernel parallelism degree, applied only when an assignment's
+	// TrainerConfig does not ship its own (the daemon's knob wins, so
+	// mixed fleets stay uniformly configured). 0/1 = serial. Never
+	// changes trial bits — the nn kernels are bit-identical at every
+	// degree.
+	TrainParallelism int
 	// Heartbeat overrides the beat cadence; 0 adopts the daemon's
 	// advertised interval.
 	Heartbeat time.Duration
@@ -141,8 +148,7 @@ func (a *Agent) register(ctx context.Context) (RegisterResponse, error) {
 func (a *Agent) session(ctx context.Context, reg RegisterResponse) {
 	sctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	st := newWorkerStats()
-	a.stats.Store(st)
+	st := a.newSessionStats()
 
 	hb := a.cfg.Heartbeat
 	if hb <= 0 {
@@ -338,6 +344,22 @@ func (a *Agent) reportEpoch(ctx context.Context, workerID string, asg Assignment
 	return EpochDirective{}, false
 }
 
+// newSessionStats starts a fresh per-session collector and re-points
+// the cached trainers' kernel sketches at it, so cumulative series
+// restart at zero exactly when the daemon's per-registration baseline
+// does — including the nn timings observed by trainers built during an
+// earlier registration.
+func (a *Agent) newSessionStats() *workerStats {
+	st := newWorkerStats()
+	a.stats.Store(st)
+	a.mu.Lock()
+	for _, tr := range a.trainers {
+		tr.InstrumentKernels(st.trainEpochSeconds, st.evalSeconds)
+	}
+	a.mu.Unlock()
+	return st
+}
+
 // trainerFor returns (building and caching) the trainer reproducing a
 // captured configuration. Caching keeps the synthetic corpus warm across
 // trials of the same workload family.
@@ -348,6 +370,12 @@ func (a *Agent) trainerFor(tc TrainerConfig) *trainer.Runner {
 		return tr
 	}
 	tr := tc.NewRunner()
+	if tr.Parallelism == 0 && a.cfg.TrainParallelism > 0 {
+		tr.Parallelism = a.cfg.TrainParallelism
+	}
+	if st := a.stats.Load(); st != nil {
+		tr.InstrumentKernels(st.trainEpochSeconds, st.evalSeconds)
+	}
 	a.trainers[tc] = tr
 	return tr
 }

@@ -311,9 +311,10 @@ func (r *wireReader) finish() error {
 
 // codecVersion is the stream codec layout version, carried in Hello.
 // Version 2 added the trainer cache budget and the prefix-cache key hint
-// to assignments; version 3 the preferred node class — both incompatible
-// grant layout changes.
-const codecVersion = 3
+// to assignments; version 3 the preferred node class; version 4 the
+// trainer's kernel parallelism degree — all incompatible grant layout
+// changes.
+const codecVersion = 4
 
 func encodeHello(w *wirebuf, name string, capacity int) {
 	w.u8(codecVersion) // bumped only on incompatible layout changes
@@ -374,6 +375,7 @@ func appendAssignment(w *wirebuf, leaseID string, attempt int, t *Trial) {
 	w.f64(t.Trainer.Load)
 	w.u64(t.Trainer.DataSeed)
 	w.uvarint(uint64(t.Trainer.CacheBytes))
+	w.uvarint(uint64(t.Trainer.Parallelism))
 	w.str(t.CacheKey)
 	w.str(t.Class)
 }
@@ -394,6 +396,7 @@ func readAssignment(r *wireReader, asg *Assignment) {
 		DataSeed:  r.u64(),
 	}
 	asg.Trainer.CacheBytes = int64(r.uvarint())
+	asg.Trainer.Parallelism = int(r.uvarint())
 	asg.CacheKey = r.str()
 	asg.Class = r.str()
 }
@@ -678,31 +681,55 @@ func decodeAck(p []byte) (leaseID []byte, attempt int, code byte, err error) {
 
 // --- Stats (heartbeat-piggybacked worker telemetry) ------------------
 //
-// The payload is a cumulative WorkerSeries snapshot: four counters, the
-// trial-time sketch's count/sum/min/max, then only its occupied buckets
-// as (index, count) pairs. A worker's sketch spans a handful of octaves
-// in practice, so the frame stays within tens of bytes.
+// The payload is a cumulative WorkerSeries snapshot: four counters, then
+// three sketches (trial seconds, train-epoch seconds, eval seconds),
+// each as count/sum/min/max plus only its occupied buckets as (index,
+// count) pairs. A worker's sketches span a handful of octaves in
+// practice, so the frame stays within tens of bytes. Version 2 added the
+// kernel latency sketches.
 
-func encodeStats(w *wirebuf, s WorkerSeries) {
-	w.u8(1) // stats codec version
-	w.uvarint(s.Trials)
-	w.uvarint(s.Epochs)
-	w.uvarint(s.EncodeErrors)
-	w.uvarint(s.DecodeErrors)
-	w.uvarint(s.TrialSeconds.Count)
-	w.f64(s.TrialSeconds.Sum)
-	w.f64(s.TrialSeconds.Min)
-	w.f64(s.TrialSeconds.Max)
-	w.uvarint(uint64(len(s.TrialSeconds.Buckets)))
-	for _, b := range s.TrialSeconds.Buckets {
+const statsCodecVersion = 2
+
+func appendSketch(w *wirebuf, s metrics.DistSnapshot) {
+	w.uvarint(s.Count)
+	w.f64(s.Sum)
+	w.f64(s.Min)
+	w.f64(s.Max)
+	w.uvarint(uint64(len(s.Buckets)))
+	for _, b := range s.Buckets {
 		w.uvarint(uint64(b.Index))
 		w.uvarint(b.Count)
 	}
 }
 
+func readSketch(r *wireReader, s *metrics.DistSnapshot) {
+	s.Count = r.uvarint()
+	s.Sum = r.f64()
+	s.Min = r.f64()
+	s.Max = r.f64()
+	n := r.count(2)
+	for i := 0; i < n && r.err == nil; i++ {
+		s.Buckets = append(s.Buckets, metrics.BucketCount{
+			Index: int(r.uvarint()),
+			Count: r.uvarint(),
+		})
+	}
+}
+
+func encodeStats(w *wirebuf, s WorkerSeries) {
+	w.u8(statsCodecVersion)
+	w.uvarint(s.Trials)
+	w.uvarint(s.Epochs)
+	w.uvarint(s.EncodeErrors)
+	w.uvarint(s.DecodeErrors)
+	appendSketch(w, s.TrialSeconds)
+	appendSketch(w, s.TrainEpochSeconds)
+	appendSketch(w, s.EvalSeconds)
+}
+
 func decodeStats(p []byte) (WorkerSeries, error) {
 	r := wireReader{b: p}
-	if v := r.u8(); r.err == nil && v != 1 {
+	if v := r.u8(); r.err == nil && v != statsCodecVersion {
 		return WorkerSeries{}, fmt.Errorf("%w: unsupported stats version %d", errFrameCorrupt, v)
 	}
 	var s WorkerSeries
@@ -710,16 +737,8 @@ func decodeStats(p []byte) (WorkerSeries, error) {
 	s.Epochs = r.uvarint()
 	s.EncodeErrors = r.uvarint()
 	s.DecodeErrors = r.uvarint()
-	s.TrialSeconds.Count = r.uvarint()
-	s.TrialSeconds.Sum = r.f64()
-	s.TrialSeconds.Min = r.f64()
-	s.TrialSeconds.Max = r.f64()
-	n := r.count(2)
-	for i := 0; i < n && r.err == nil; i++ {
-		s.TrialSeconds.Buckets = append(s.TrialSeconds.Buckets, metrics.BucketCount{
-			Index: int(r.uvarint()),
-			Count: r.uvarint(),
-		})
-	}
+	readSketch(&r, &s.TrialSeconds)
+	readSketch(&r, &s.TrainEpochSeconds)
+	readSketch(&r, &s.EvalSeconds)
 	return s, r.finish()
 }

@@ -24,6 +24,13 @@ type WorkerSeries struct {
 	// Sum is total compute seconds, so epochs/sec falls out as
 	// Epochs / TrialSeconds.Sum.
 	TrialSeconds metrics.DistSnapshot `json:"trialSeconds"`
+	// TrainEpochSeconds and EvalSeconds sketch the nn kernel wall
+	// times inside those trials (one observation per real SGD epoch /
+	// test-set evaluation), so fleet dashboards see the same
+	// nn_train_epoch_seconds pipeline the local trainer registry
+	// exposes.
+	TrainEpochSeconds metrics.DistSnapshot `json:"trainEpochSeconds"`
+	EvalSeconds       metrics.DistSnapshot `json:"evalSeconds"`
 	// EncodeErrors / DecodeErrors count wire codec and transport
 	// failures observed worker-side (frame or JSON encode/send vs
 	// decode/receive).
@@ -41,15 +48,21 @@ type HeartbeatRequest struct {
 // per agent session, so cumulative values restart at zero exactly when
 // the daemon's per-registration baseline does.
 type workerStats struct {
-	trials       atomic.Uint64
-	epochs       atomic.Uint64
-	encodeErrs   atomic.Uint64
-	decodeErrs   atomic.Uint64
-	trialSeconds *metrics.Distribution
+	trials            atomic.Uint64
+	epochs            atomic.Uint64
+	encodeErrs        atomic.Uint64
+	decodeErrs        atomic.Uint64
+	trialSeconds      *metrics.Distribution
+	trainEpochSeconds *metrics.Distribution
+	evalSeconds       *metrics.Distribution
 }
 
 func newWorkerStats() *workerStats {
-	return &workerStats{trialSeconds: metrics.NewDistribution()}
+	return &workerStats{
+		trialSeconds:      metrics.NewDistribution(),
+		trainEpochSeconds: metrics.NewDistribution(),
+		evalSeconds:       metrics.NewDistribution(),
+	}
 }
 
 // observeTrial records one finished trial body.
@@ -80,11 +93,13 @@ func (s *workerStats) series() WorkerSeries {
 		return WorkerSeries{}
 	}
 	return WorkerSeries{
-		Trials:       s.trials.Load(),
-		Epochs:       s.epochs.Load(),
-		TrialSeconds: s.trialSeconds.Snapshot(),
-		EncodeErrors: s.encodeErrs.Load(),
-		DecodeErrors: s.decodeErrs.Load(),
+		Trials:            s.trials.Load(),
+		Epochs:            s.epochs.Load(),
+		TrialSeconds:      s.trialSeconds.Snapshot(),
+		TrainEpochSeconds: s.trainEpochSeconds.Snapshot(),
+		EvalSeconds:       s.evalSeconds.Snapshot(),
+		EncodeErrors:      s.encodeErrs.Load(),
+		DecodeErrors:      s.decodeErrs.Load(),
 	}
 }
 
@@ -109,10 +124,12 @@ type remoteMetrics struct {
 	jsonRxBytes, jsonTxBytes   *metrics.Counter
 
 	// Fleet-wide worker series, labelled by worker name.
-	workerTrials       *metrics.CounterVec
-	workerEpochs       *metrics.CounterVec
-	workerErrors       *metrics.CounterVec // worker, kind: encode|decode
-	workerTrialSeconds *metrics.DistributionVec
+	workerTrials            *metrics.CounterVec
+	workerEpochs            *metrics.CounterVec
+	workerErrors            *metrics.CounterVec // worker, kind: encode|decode
+	workerTrialSeconds      *metrics.DistributionVec
+	workerTrainEpochSeconds *metrics.DistributionVec
+	workerEvalSeconds       *metrics.DistributionVec
 }
 
 func newRemoteMetrics(reg *metrics.Registry) *remoteMetrics {
@@ -136,6 +153,10 @@ func newRemoteMetrics(reg *metrics.Registry) *remoteMetrics {
 			"Worker-observed wire errors, by worker and kind.", "worker", "kind"),
 		workerTrialSeconds: reg.DistributionVec("pipetune_worker_trial_seconds",
 			"Per-trial wall compute time, by worker (heartbeat-shipped sketch).", "worker"),
+		workerTrainEpochSeconds: reg.DistributionVec("pipetune_worker_train_epoch_seconds",
+			"Per-epoch nn kernel wall time, by worker (heartbeat-shipped sketch).", "worker"),
+		workerEvalSeconds: reg.DistributionVec("pipetune_worker_eval_seconds",
+			"Per-evaluation nn kernel wall time, by worker (heartbeat-shipped sketch).", "worker"),
 	}
 	bytes := reg.CounterVec("pipetune_exec_wire_bytes_total",
 		"Wire payload bytes by protocol and direction (daemon view).", "wire", "dir")
@@ -170,6 +191,8 @@ func (r *Remote) ingestSeriesLocked(w *workerEntry, cur WorkerSeries) {
 		r.met.workerErrors.With(name, "decode").Add(d)
 	}
 	r.met.workerTrialSeconds.With(name).Merge(cur.TrialSeconds.Delta(prev.TrialSeconds))
+	r.met.workerTrainEpochSeconds.With(name).Merge(cur.TrainEpochSeconds.Delta(prev.TrainEpochSeconds))
+	r.met.workerEvalSeconds.With(name).Merge(cur.EvalSeconds.Delta(prev.EvalSeconds))
 	w.series = cur
 }
 

@@ -114,7 +114,7 @@ func (a *Agent) streamSession(ctx context.Context) error {
 		conn:    conn,
 		fw:      &frameWriter{w: conn},
 		waiters: make(map[string]*streamWaiter),
-		stats:   newWorkerStats(),
+		stats:   a.newSessionStats(),
 		dead:    make(chan struct{}),
 	}
 	defer s.kill(nil)

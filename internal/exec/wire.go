@@ -29,16 +29,24 @@ type TrainerConfig struct {
 	// cache of that byte budget, mirroring the daemon's. Zero disables
 	// caching on the worker.
 	CacheBytes int64 `json:"cacheBytes,omitempty"`
+	// Parallelism is the submitter's deterministic intra-trial kernel
+	// parallelism degree, shipped so remote fleets run trials with the
+	// same configuration the daemon would use locally. It never changes
+	// trial bits (the nn kernels are bit-identical at every degree) —
+	// only how many goroutines each trial's compute may use. Zero lets
+	// the worker apply its own -train-parallelism default.
+	Parallelism int `json:"trainParallelism,omitempty"`
 }
 
 // CaptureTrainerConfig extracts the wire-portable configuration of a
 // trainer.
 func CaptureTrainerConfig(tr *trainer.Runner) TrainerConfig {
 	tc := TrainerConfig{
-		TrainSize: tr.Data.TrainSize,
-		TestSize:  tr.Data.TestSize,
-		Load:      tr.Load,
-		DataSeed:  tr.DataSeed,
+		TrainSize:   tr.Data.TrainSize,
+		TestSize:    tr.Data.TestSize,
+		Load:        tr.Load,
+		DataSeed:    tr.DataSeed,
+		Parallelism: tr.Parallelism,
 	}
 	if tr.Cache != nil {
 		tc.CacheBytes = tr.Cache.Cap()
@@ -61,6 +69,9 @@ func (tc TrainerConfig) NewRunner() *trainer.Runner {
 	}
 	if tc.CacheBytes > 0 {
 		tr.Cache = trainer.NewTrialCache(tc.CacheBytes)
+	}
+	if tc.Parallelism > 0 {
+		tr.Parallelism = tc.Parallelism
 	}
 	return tr
 }

@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package nn
+
+// Non-amd64 platforms use the portable loops (bit-identical to the
+// assembly kernels by construction).
+
+func axpy(o, w []float64, a float64) { axpyGeneric(o, w, a) }
+
+func reluFwd(dst, src []float64) { reluFwdGeneric(dst, src) }
+
+func reluBwd(dst, y, g []float64) { reluBwdGeneric(dst, y, g) }

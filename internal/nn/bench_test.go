@@ -47,3 +47,113 @@ func BenchmarkEvaluate(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkKernels times the blocked Dense kernels in isolation at the
+// zoo's dominant shapes (LeNet first layer, CNN embedding layer).
+func BenchmarkKernels(b *testing.B) {
+	shapes := []struct {
+		name          string
+		rows, in, out int
+	}{
+		{"dense-fwd-32x64x48", 32, 64, 48},
+		{"dense-fwd-32x128x300", 32, 128, 300},
+	}
+	for _, sh := range shapes {
+		b.Run(sh.name, func(b *testing.B) {
+			r := xrand.New(1)
+			d := NewDense(sh.in, sh.out, r)
+			x := &Batch{Data: make([]float64, sh.rows*sh.in), Rows: sh.rows, Cols: sh.in}
+			for i := range x.Data {
+				x.Data[i] = r.Range(-1, 1)
+			}
+			d.Forward(x, true)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Forward(x, true)
+			}
+		})
+		b.Run(sh.name[:6]+"bwd"+sh.name[9:], func(b *testing.B) {
+			r := xrand.New(1)
+			d := NewDense(sh.in, sh.out, r)
+			x := &Batch{Data: make([]float64, sh.rows*sh.in), Rows: sh.rows, Cols: sh.in}
+			g := &Batch{Data: make([]float64, sh.rows*sh.out), Rows: sh.rows, Cols: sh.out}
+			for i := range x.Data {
+				x.Data[i] = r.Range(-1, 1)
+			}
+			for i := range g.Data {
+				g.Data[i] = r.Range(-1, 1)
+			}
+			d.Forward(x, true)
+			d.Backward(g)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d.Backward(g)
+			}
+		})
+	}
+}
+
+// TestTrainHotPathAllocs pins the tentpole claim: once arenas are sized
+// (one warm-up pass), TrainBatch allocates nothing — serial or parallel.
+func TestTrainHotPathAllocs(t *testing.T) {
+	for _, p := range []int{1, 2} {
+		w := workload.Workload{Model: workload.LeNet5, Dataset: workload.MNIST}
+		train, _, err := dataset.Generate(w, 1, dataset.Config{TrainSize: 64, TestSize: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		net, err := Build(w.Model, train.Dim, train.NumClasses, params.DefaultHyper(), xrand.New(1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.SetParallelism(p)
+		x := &Batch{Data: make([]float64, 32*train.Dim), Rows: 32, Cols: train.Dim}
+		labels := make([]int, 32)
+		for i := range labels {
+			copy(x.Row(i), train.Samples[i].Features)
+			labels[i] = train.Samples[i].Label
+		}
+		// Warm up: first calls bind kernel closures and start the pool.
+		for i := 0; i < 3; i++ {
+			if _, err := net.TrainBatch(x, labels, 0.01); err != nil {
+				t.Fatal(err)
+			}
+		}
+		allocs := testing.AllocsPerRun(50, func() {
+			if _, err := net.TrainBatch(x, labels, 0.01); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Fatalf("TrainBatch steady state allocates %.1f/op at parallelism %d, want 0", allocs, p)
+		}
+	}
+}
+
+// TestEpochHotPathAllocs extends the claim to the full epoch loop —
+// shuffle, gather, batches — which reuses the network's own arenas.
+func TestEpochHotPathAllocs(t *testing.T) {
+	w := workload.Workload{Model: workload.LeNet5, Dataset: workload.MNIST}
+	train, _, err := dataset.Generate(w, 1, dataset.Config{TrainSize: 128, TestSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := Build(w.Model, train.Dim, train.NumClasses, params.DefaultHyper(), xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := xrand.New(2)
+	for i := 0; i < 2; i++ {
+		if _, err := net.TrainEpoch(train, 32, 0.01, sh); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := net.TrainEpoch(train, 32, 0.01, sh); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("TrainEpoch steady state allocates %.1f/op, want 0", allocs)
+	}
+}

@@ -13,9 +13,9 @@ import (
 func TestDenseForwardShape(t *testing.T) {
 	r := xrand.New(1)
 	d := NewDense(3, 2, r)
-	out := d.Forward(Batch{{1, 2, 3}, {4, 5, 6}}, false)
-	if len(out) != 2 || len(out[0]) != 2 {
-		t.Fatalf("output shape %dx%d, want 2x2", len(out), len(out[0]))
+	out := d.Forward(FromRows([][]float64{{1, 2, 3}, {4, 5, 6}}), false)
+	if out.Rows != 2 || out.Cols != 2 {
+		t.Fatalf("output shape %dx%d, want 2x2", out.Rows, out.Cols)
 	}
 }
 
@@ -27,7 +27,7 @@ func TestDenseParamCount(t *testing.T) {
 }
 
 // numericalGrad perturbs one weight and measures the loss change.
-func numericalGrad(net *Network, x Batch, labels []int, w *float64) float64 {
+func numericalGrad(net *Network, x *Batch, labels []int, w *float64) float64 {
 	const eps = 1e-5
 	orig := *w
 	*w = orig + eps
@@ -38,24 +38,28 @@ func numericalGrad(net *Network, x Batch, labels []int, w *float64) float64 {
 	return (lossPlus - lossMinus) / (2 * eps)
 }
 
-func evalLoss(net *Network, x Batch, labels []int) float64 {
+func evalLoss(net *Network, x *Batch, labels []int) float64 {
 	logits := net.Forward(x, false)
-	loss, _ := softmaxXE(logits, labels)
+	loss, _ := net.softmaxXE(logits, labels)
 	return loss
 }
 
-func TestGradientCheck(t *testing.T) {
+// gradientCheck verifies the blocked kernels' analytic gradients against
+// central differences at the given parallelism degree.
+func gradientCheck(t *testing.T, parallelism int) {
+	t.Helper()
 	r := xrand.New(7)
 	d1 := NewDense(4, 5, r)
 	d2 := NewDense(5, 3, r)
 	net := NewNetwork(d1, &Tanh{}, d2)
+	net.SetParallelism(parallelism)
 
-	x := Batch{{0.5, -0.2, 0.8, 0.1}, {-0.4, 0.9, -0.1, 0.3}}
+	x := FromRows([][]float64{{0.5, -0.2, 0.8, 0.1}, {-0.4, 0.9, -0.1, 0.3}})
 	labels := []int{0, 2}
 
 	// Compute analytic gradients without updating.
 	logits := net.Forward(x, true)
-	_, grad := softmaxXE(logits, labels)
+	_, grad := net.softmaxXE(logits, labels)
 	for i := len(net.layers) - 1; i >= 0; i-- {
 		grad = net.layers[i].Backward(grad)
 	}
@@ -77,34 +81,39 @@ func TestGradientCheck(t *testing.T) {
 	check("d2.b", d2.b, d2.gb)
 }
 
+func TestGradientCheck(t *testing.T) {
+	for _, p := range []int{1, 2, 8} {
+		gradientCheck(t, p)
+	}
+}
+
 func TestReLUForwardBackward(t *testing.T) {
 	a := &ReLU{}
-	out := a.Forward(Batch{{-1, 0, 2}}, true)
-	if out[0][0] != 0 || out[0][1] != 0 || out[0][2] != 2 {
-		t.Fatalf("ReLU forward = %v", out)
+	out := a.Forward(FromRows([][]float64{{-1, 0, 2}}), true)
+	if out.Row(0)[0] != 0 || out.Row(0)[1] != 0 || out.Row(0)[2] != 2 {
+		t.Fatalf("ReLU forward = %v", out.Row(0))
 	}
-	back := a.Backward(Batch{{5, 5, 5}})
-	if back[0][0] != 0 || back[0][1] != 0 || back[0][2] != 5 {
-		t.Fatalf("ReLU backward = %v", back)
+	back := a.Backward(FromRows([][]float64{{5, 5, 5}}))
+	if back.Row(0)[0] != 0 || back.Row(0)[1] != 0 || back.Row(0)[2] != 5 {
+		t.Fatalf("ReLU backward = %v", back.Row(0))
 	}
 }
 
 func TestTanhBounds(t *testing.T) {
 	a := &Tanh{}
-	out := a.Forward(Batch{{-100, 0, 100}}, true)
-	if out[0][0] > -0.99 || math.Abs(out[0][1]) > 1e-12 || out[0][2] < 0.99 {
-		t.Fatalf("Tanh forward = %v", out)
+	out := a.Forward(FromRows([][]float64{{-100, 0, 100}}), true)
+	o := out.Row(0)
+	if o[0] > -0.99 || math.Abs(o[1]) > 1e-12 || o[2] < 0.99 {
+		t.Fatalf("Tanh forward = %v", o)
 	}
 }
 
 func TestDropoutEvalIsIdentity(t *testing.T) {
 	d := NewDropout(0.5, xrand.New(1))
-	in := Batch{{1, 2, 3, 4}}
+	in := FromRows([][]float64{{1, 2, 3, 4}})
 	out := d.Forward(in, false)
-	for i := range in[0] {
-		if out[0][i] != in[0][i] {
-			t.Fatal("dropout active in eval mode")
-		}
+	if out != in {
+		t.Fatal("inactive dropout should pass the batch through unchanged")
 	}
 }
 
@@ -114,9 +123,9 @@ func TestDropoutTrainZeroesAndScales(t *testing.T) {
 	for i := range in {
 		in[i] = 1
 	}
-	out := d.Forward(Batch{in}, true)
+	out := d.Forward(FromRows([][]float64{in}), true)
 	zeros, scaled := 0, 0
-	for _, v := range out[0] {
+	for _, v := range out.Row(0) {
 		switch {
 		case v == 0:
 			zeros++
@@ -140,9 +149,9 @@ func TestDropoutExpectationPreserved(t *testing.T) {
 	for i := range in {
 		in[i] = 1
 	}
-	out := d.Forward(Batch{in}, true)
+	out := d.Forward(FromRows([][]float64{in}), true)
 	sum := 0.0
-	for _, v := range out[0] {
+	for _, v := range out.Row(0) {
 		sum += v
 	}
 	mean := sum / float64(len(in))
@@ -153,19 +162,20 @@ func TestDropoutExpectationPreserved(t *testing.T) {
 
 func TestSoftmaxXEKnownValues(t *testing.T) {
 	// Uniform logits over 4 classes: loss = ln(4).
-	loss, grad := softmaxXE(Batch{{0, 0, 0, 0}}, []int{1})
+	n := NewNetwork()
+	loss, grad := n.softmaxXE(FromRows([][]float64{{0, 0, 0, 0}}), []int{1})
 	if math.Abs(loss-math.Log(4)) > 1e-9 {
 		t.Fatalf("loss = %v, want ln4", loss)
 	}
 	// Gradient sums to zero per sample.
 	sum := 0.0
-	for _, g := range grad[0] {
+	for _, g := range grad.Row(0) {
 		sum += g
 	}
 	if math.Abs(sum) > 1e-9 {
 		t.Fatalf("grad sum = %v, want 0", sum)
 	}
-	if grad[0][1] >= 0 {
+	if grad.Row(0)[1] >= 0 {
 		t.Fatal("gradient at true label should be negative")
 	}
 }
@@ -173,7 +183,7 @@ func TestSoftmaxXEKnownValues(t *testing.T) {
 func TestTrainBatchReducesLossOnFixedBatch(t *testing.T) {
 	r := xrand.New(11)
 	net := NewNetwork(NewDense(4, 8, r), &ReLU{}, NewDense(8, 2, r))
-	x := Batch{{1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, 1, 0}, {0, 0, 0, 1}}
+	x := FromRows([][]float64{{1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, 1, 0}, {0, 0, 0, 1}})
 	labels := []int{0, 0, 1, 1}
 	first, err := net.TrainBatch(x, labels, 0.5)
 	if err != nil {
@@ -199,7 +209,7 @@ func TestTrainBatchRejectsBadInput(t *testing.T) {
 	if _, err := net.TrainBatch(nil, nil, 0.1); err == nil {
 		t.Fatal("empty batch accepted")
 	}
-	if _, err := net.TrainBatch(Batch{{1, 2}}, []int{0, 1}, 0.1); err == nil {
+	if _, err := net.TrainBatch(FromRows([][]float64{{1, 2}}), []int{0, 1}, 0.1); err == nil {
 		t.Fatal("mismatched labels accepted")
 	}
 }
@@ -329,6 +339,22 @@ func TestTrainingIsDeterministic(t *testing.T) {
 	b := trainOn(t, w, h, 5, 3)
 	if a != b {
 		t.Fatalf("same seed produced different accuracies: %v vs %v", a, b)
+	}
+}
+
+func TestSetParallelismClampsToSerial(t *testing.T) {
+	net := NewNetwork(NewDense(2, 2, xrand.New(1)))
+	net.SetParallelism(0)
+	if net.Parallelism() != 1 {
+		t.Fatalf("Parallelism() = %d after SetParallelism(0), want 1", net.Parallelism())
+	}
+	net.SetParallelism(-3)
+	if net.Parallelism() != 1 {
+		t.Fatalf("Parallelism() = %d after SetParallelism(-3), want 1", net.Parallelism())
+	}
+	net.SetParallelism(4)
+	if net.Parallelism() != 4 {
+		t.Fatalf("Parallelism() = %d, want 4", net.Parallelism())
 	}
 }
 

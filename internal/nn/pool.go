@@ -1,0 +1,101 @@
+package nn
+
+// Deterministic intra-trial parallelism. A network may shard its
+// per-sample-independent work (forward rows, backward dx rows, softmax
+// probabilities, argmax) across a bounded process-wide worker pool.
+// Determinism is structural, not scheduled: shards write disjoint row
+// ranges of pre-sized arenas, every per-element float64 operation is the
+// same at any degree, and every cross-sample accumulation (gw/gb, loss
+// sums) stays serial in sample order — so a trial's result is
+// bit-identical at parallelism 1, 2 or 8, and identical to the serial
+// kernels. The degree only changes who computes, never what.
+
+import (
+	"runtime"
+	"sync"
+)
+
+// kern is a network's parallel execution context: the requested
+// parallelism degree plus the fork-join scratch used to run row shards
+// on the shared pool. One kern per network; layers hold a pointer to
+// their network's kern (nil means serial — layers constructed outside
+// NewNetwork keep working).
+type kern struct {
+	par int
+	wg  sync.WaitGroup
+}
+
+// kernelUser is implemented by layers that can shard row work; NewNetwork
+// hands each one the network's kern.
+type kernelUser interface{ setKernel(k *kern) }
+
+// degree returns the effective parallelism (>= 1).
+func (k *kern) degree() int {
+	if k == nil || k.par < 2 {
+		return 1
+	}
+	return k.par
+}
+
+// rows runs fn over [0, rows) split into at most degree() contiguous
+// shards. fn must be safe for concurrent invocation on disjoint row
+// ranges. The final shard runs on the caller, the rest on the shared
+// pool; the shard boundaries depend only on (rows, degree), and because
+// shards are data-disjoint the results do not depend on them at all.
+// Steady state allocates nothing: tasks travel by value through a
+// buffered channel and the WaitGroup is reused.
+func (k *kern) rows(rows int, fn func(lo, hi int)) {
+	p := k.degree()
+	if p > rows {
+		p = rows
+	}
+	if p <= 1 {
+		fn(0, rows)
+		return
+	}
+	poolOnce.Do(startPool)
+	chunk := (rows + p - 1) / p
+	lo := 0
+	for lo+chunk < rows {
+		k.wg.Add(1)
+		poolWork <- poolTask{fn: fn, lo: lo, hi: lo + chunk, wg: &k.wg}
+		lo += chunk
+	}
+	fn(lo, rows)
+	k.wg.Wait()
+}
+
+// poolTask is one row shard handed to a pool worker.
+type poolTask struct {
+	fn     func(lo, hi int)
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+var (
+	poolOnce sync.Once
+	poolWork chan poolTask
+)
+
+// startPool launches the process-wide kernel pool, bounded by GOMAXPROCS
+// at first use. The pool is shared by every concurrently running trial:
+// a degree-8 trial on a busy pool still computes correctly (shards
+// queue), it just shares the cores. Tasks are pure compute over disjoint
+// rows and never submit nested tasks, so the shared pool cannot
+// deadlock; workers park on the channel between trials, so an idle pool
+// costs nothing but its stacks.
+func startPool() {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	poolWork = make(chan poolTask, 8*n)
+	for i := 0; i < n; i++ {
+		go func() {
+			for t := range poolWork {
+				t.fn(t.lo, t.hi)
+				t.wg.Done()
+			}
+		}()
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pipetune/internal/costmodel"
 	"pipetune/internal/dataset"
@@ -122,11 +123,21 @@ type Runner struct {
 	// process.
 	Cache *TrialCache
 
+	// Parallelism bounds deterministic intra-trial parallelism in the nn
+	// compute kernels: up to this many goroutines shard per-sample-
+	// independent work inside each epoch. 0 and 1 both mean serial.
+	// Results are bit-identical at every degree (see nn's pool.go), which
+	// is why Parallelism is deliberately excluded from PrefixKey: a
+	// cached trajectory trained at one degree is valid at any other.
+	Parallelism int
+
 	mu            sync.Mutex
 	cache         map[string]*corpusPair
 	corpusFlights flightGroup
 	corpusGens    atomic.Uint64 // distinct corpus syntheses (singleflight test hook)
 	tsdbErrs      atomic.Pointer[metrics.Counter]
+	epochSeconds  atomic.Pointer[metrics.Distribution]
+	evalSeconds   atomic.Pointer[metrics.Distribution]
 }
 
 type corpusPair struct {
@@ -196,9 +207,26 @@ func (r *Runner) corpus(w workload.Workload) (*corpusPair, error) {
 // registry (metrics disabled) keeps every update a no-op.
 func (r *Runner) InstrumentMetrics(reg *metrics.Registry) {
 	r.tsdbErrs.Store(reg.Counter("trainer_tsdb_write_errors_total", "Epoch summaries and power points the trainer failed to write to the tsdb."))
+	r.epochSeconds.Store(reg.Distribution("nn_train_epoch_seconds", "Wall-clock seconds per nn training epoch (real SGD compute, not the simulated epoch duration)."))
+	r.evalSeconds.Store(reg.Distribution("nn_eval_seconds", "Wall-clock seconds per nn test-set evaluation."))
+	p := r.Parallelism
+	if p < 1 {
+		p = 1
+	}
+	reg.Gauge("nn_parallelism", "Configured deterministic intra-trial kernel parallelism degree.").Set(float64(p))
 	if r.Cache != nil {
 		r.Cache.InstrumentMetrics(reg)
 	}
+}
+
+// InstrumentKernels points the kernel wall-time sketches at caller-owned
+// distributions instead of a registry — the worker agents use this to
+// ship per-session kernel latency on heartbeats the same way they ship
+// trial seconds. Either instrumentation path may be re-pointed at any
+// time; nil distributions turn observation back into a no-op.
+func (r *Runner) InstrumentKernels(epoch, eval *metrics.Distribution) {
+	r.epochSeconds.Store(epoch)
+	r.evalSeconds.Store(eval)
 }
 
 // TSDBWriteErrors returns the count of discarded tsdb writes observed
@@ -276,6 +304,36 @@ func (r *Runner) PrefixKey(w workload.Workload, h params.Hyper, seed uint64) str
 	b = append(b, '|')
 	b = strconv.AppendUint(b, seed, 16)
 	return string(b)
+}
+
+// buildNet constructs the trial network and applies the runner's kernel
+// parallelism degree (a pure scheduling knob: the trained bits do not
+// depend on it).
+func (r *Runner) buildNet(w workload.Workload, cp *corpusPair, h params.Hyper, netRng *xrand.Source) (*nn.Network, error) {
+	net, err := nn.Build(w.Model, cp.train.Dim, cp.train.NumClasses, h, netRng)
+	if err != nil {
+		return nil, fmt.Errorf("trainer: %w", err)
+	}
+	net.SetParallelism(r.Parallelism)
+	return net, nil
+}
+
+// trainEpoch runs one real SGD epoch, observing its wall time into the
+// nn_train_epoch_seconds sketch.
+func (r *Runner) trainEpoch(net *nn.Network, set *dataset.Set, h params.Hyper, rng *xrand.Source) (float64, error) {
+	t0 := time.Now()
+	loss, err := net.TrainEpoch(set, h.BatchSize, h.LearningRate, rng)
+	r.epochSeconds.Load().Observe(time.Since(t0).Seconds())
+	return loss, err
+}
+
+// evaluate runs a test-set evaluation, observing its wall time into the
+// nn_eval_seconds sketch.
+func (r *Runner) evaluate(net *nn.Network, set *dataset.Set) (float64, float64, error) {
+	t0 := time.Now()
+	acc, loss, err := net.Evaluate(set)
+	r.evalSeconds.Load().Observe(time.Since(t0).Seconds())
+	return acc, loss, err
 }
 
 // ckptVersion versions the checkpoint blob layout.
@@ -358,9 +416,9 @@ func (r *Runner) RunWithCacheKey(w workload.Workload, h params.Hyper, sys params
 	// the loop just reads it.
 	var epochValues func(epoch int) (TrajPoint, error)
 	trainSuffix := func(start int, ckpt []byte) ([]TrajPoint, []byte, error) {
-		net, err := nn.Build(w.Model, cp.train.Dim, cp.train.NumClasses, h, netRng)
+		net, err := r.buildNet(w, cp, h, netRng)
 		if err != nil {
-			return nil, nil, fmt.Errorf("trainer: %w", err)
+			return nil, nil, err
 		}
 		if start > 0 {
 			if err := restoreCheckpoint(ckpt, net, shuffleRng); err != nil {
@@ -369,11 +427,11 @@ func (r *Runner) RunWithCacheKey(w workload.Workload, h params.Hyper, sys params
 		}
 		pts := make([]TrajPoint, 0, h.Epochs-start)
 		for epoch := start + 1; epoch <= h.Epochs; epoch++ {
-			loss, err := net.TrainEpoch(cp.train, h.BatchSize, h.LearningRate, shuffleRng)
+			loss, err := r.trainEpoch(net, cp.train, h, shuffleRng)
 			if err != nil {
 				return nil, nil, fmt.Errorf("trainer: epoch %d: %w", epoch, err)
 			}
-			acc, _, err := net.Evaluate(cp.test)
+			acc, _, err := r.evaluate(net, cp.test)
 			if err != nil {
 				return nil, nil, fmt.Errorf("trainer: epoch %d eval: %w", epoch, err)
 			}
@@ -391,16 +449,16 @@ func (r *Runner) RunWithCacheKey(w workload.Workload, h params.Hyper, sys params
 		}
 		epochValues = func(epoch int) (TrajPoint, error) { return pts[epoch-1], nil }
 	} else {
-		net, err := nn.Build(w.Model, cp.train.Dim, cp.train.NumClasses, h, netRng)
+		net, err := r.buildNet(w, cp, h, netRng)
 		if err != nil {
-			return nil, fmt.Errorf("trainer: %w", err)
+			return nil, err
 		}
 		epochValues = func(epoch int) (TrajPoint, error) {
-			loss, err := net.TrainEpoch(cp.train, h.BatchSize, h.LearningRate, shuffleRng)
+			loss, err := r.trainEpoch(net, cp.train, h, shuffleRng)
 			if err != nil {
 				return TrajPoint{}, fmt.Errorf("trainer: epoch %d: %w", epoch, err)
 			}
-			acc, _, err := net.Evaluate(cp.test)
+			acc, _, err := r.evaluate(net, cp.test)
 			if err != nil {
 				return TrajPoint{}, fmt.Errorf("trainer: epoch %d eval: %w", epoch, err)
 			}
